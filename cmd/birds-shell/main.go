@@ -1,0 +1,194 @@
+// Command birds-shell is an interactive session against the in-memory
+// engine: declare base tables, install updatable views from putback
+// programs, and update through them with SQL DML.
+//
+//	$ go run ./cmd/birds-shell
+//	birds> source r1(a:int).
+//	birds> source r2(a:int).
+//	birds> \beginview
+//	  ... paste a putback program, then \endview
+//	birds> INSERT INTO v VALUES (3);
+//	birds> \show r1
+//
+// Commands: \tables, \show REL, \sql VIEW, \explain VIEW, \csv TABLE FILE,
+// \view FILE [inc], \beginview/\endview [inc], \help, \quit.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"birds"
+	"birds/internal/sqlgen"
+)
+
+func main() {
+	db := birds.NewDB()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("birds-shell — type \\help for commands")
+
+	var viewBuf *strings.Builder
+	var viewInc bool
+	prompt := func() {
+		if viewBuf != nil {
+			fmt.Print("  ...> ")
+		} else {
+			fmt.Print("birds> ")
+		}
+	}
+	for prompt(); sc.Scan(); prompt() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if viewBuf != nil {
+			if strings.EqualFold(line, `\endview`) {
+				src := viewBuf.String()
+				viewBuf = nil
+				if _, err := db.CreateView(src, birds.ViewOptions{Incremental: viewInc}); err != nil {
+					fmt.Println("error:", err)
+				} else {
+					fmt.Println("view created (strategy validated)")
+				}
+				continue
+			}
+			viewBuf.WriteString(line)
+			viewBuf.WriteByte('\n')
+			continue
+		}
+		if err := execLine(db, line, &viewBuf, &viewInc); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func execLine(db *birds.DB, line string, viewBuf **strings.Builder, viewInc *bool) error {
+	switch {
+	case strings.HasPrefix(line, `\`):
+		return command(db, line, viewBuf, viewInc)
+	case strings.HasPrefix(strings.ToLower(line), "source "):
+		prog, err := birds.Parse(line)
+		if err != nil {
+			return err
+		}
+		for _, d := range prog.Sources {
+			if err := db.CreateTable(d); err != nil {
+				return err
+			}
+			fmt.Printf("table %s created\n", d)
+		}
+		return nil
+	default:
+		return db.ExecSQL(line)
+	}
+}
+
+func command(db *birds.DB, line string, viewBuf **strings.Builder, viewInc *bool) error {
+	fields := strings.Fields(line)
+	switch strings.ToLower(fields[0]) {
+	case `\help`:
+		fmt.Println(`statements:
+  source NAME(col:type, ...).      create a base table
+  INSERT INTO rel VALUES (...);    DML through tables and views
+  DELETE FROM rel WHERE col = v;
+  UPDATE rel SET col = v WHERE ...;
+commands:
+  \beginview [inc]   start entering a putback program (\endview to finish)
+  \view FILE [inc]   create a view from a .dtl file
+  \csv TABLE FILE    bulk-load a table from CSV (header row expected)
+  \show REL          print a relation
+  \tables            list relations
+  \sql VIEW          print the compiled SQL program
+  \explain VIEW      print the strategy's query plans
+  \quit`)
+		return nil
+	case `\quit`, `\q`:
+		os.Exit(0)
+	case `\beginview`:
+		*viewInc = len(fields) > 1 && fields[1] == "inc"
+		*viewBuf = &strings.Builder{}
+		fmt.Println("enter the putback program; finish with \\endview")
+		return nil
+	case `\view`:
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: \\view FILE [inc]")
+		}
+		data, err := os.ReadFile(fields[1])
+		if err != nil {
+			return err
+		}
+		inc := len(fields) > 2 && fields[2] == "inc"
+		if _, err := db.CreateView(string(data), birds.ViewOptions{Incremental: inc}); err != nil {
+			return err
+		}
+		fmt.Println("view created (strategy validated)")
+		return nil
+	case `\csv`:
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: \\csv TABLE FILE")
+		}
+		f, err := os.Open(fields[2])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := db.LoadCSV(fields[1], f, true)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d rows loaded\n", n)
+		return nil
+	case `\show`:
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: \\show REL")
+		}
+		rel, err := db.Rel(fields[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s (%d tuples) = %s\n", fields[1], rel.Len(), rel)
+		return nil
+	case `\sql`:
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: \\sql VIEW")
+		}
+		v := db.View(fields[1])
+		if v == nil {
+			return fmt.Errorf("unknown view %q", fields[1])
+		}
+		sqlText, err := sqlgen.New(v.Strategy.Prog).Compile(v.Get)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sqlText)
+		return nil
+	case `\explain`:
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: \\explain VIEW")
+		}
+		v := db.View(fields[1])
+		if v == nil {
+			return fmt.Errorf("unknown view %q", fields[1])
+		}
+		fmt.Print(v.Strategy.Evaluator().Explain())
+		return nil
+	case `\tables`:
+		for _, info := range db.Relations() {
+			mode := ""
+			if info.Kind == "view" {
+				mode = " (original strategy)"
+				if info.Incremental {
+					mode = " (incremental strategy)"
+				}
+			}
+			fmt.Printf("  %-6s %s%s\n", info.Kind, info.Decl, mode)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %s (try \\help)", fields[0])
+	}
+	return nil
+}

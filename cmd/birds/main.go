@@ -1,0 +1,132 @@
+// Command birds is the compiler CLI: it reads a Datalog putback program,
+// runs the validation algorithm (Algorithm 1 of the paper), prints the
+// derived or confirmed view definition, and optionally emits the
+// incrementalized ∂put program and the compiled SQL trigger program.
+//
+// Usage:
+//
+//	birds -f strategy.dtl [-expected-get get.dtl] [-inc] [-sql out.sql]
+//	cat strategy.dtl | birds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"birds"
+)
+
+func main() {
+	var (
+		file     = flag.String("f", "", "putback program file (default: stdin)")
+		getFile  = flag.String("expected-get", "", "file with the expected view definition rules")
+		emitInc  = flag.Bool("inc", false, "print the incrementalized ∂put program")
+		sqlOut   = flag.String("sql", "", "write the compiled SQL program to this file ('-' for stdout)")
+		trials   = flag.Int("trials", 3000, "randomized oracle trials")
+		budget   = flag.Int("budget", 150000, "exhaustive/guided oracle budget")
+		validate = flag.Bool("validate", true, "run the validation algorithm")
+	)
+	flag.Parse()
+
+	src, err := readSource(*file)
+	if err != nil {
+		fatal(err)
+	}
+	strategy, err := birds.Load(src)
+	if err != nil {
+		fatal(err)
+	}
+	class := strategy.Class()
+	fmt.Printf("program: %d rules, view %s\n", strategy.Program().LOC(), strategy.Program().View.Name)
+	fmt.Printf("fragment: LVGN-Datalog=%v NR-Datalog=%v\n", class.LVGN(), class.NRDatalog())
+	for _, v := range class.Violations {
+		fmt.Printf("  note: %s\n", v)
+	}
+
+	var getRules []*birds.Rule
+	if *getFile != "" {
+		data, err := os.ReadFile(*getFile)
+		if err != nil {
+			fatal(err)
+		}
+		if getRules, err = birds.ParseRules(string(data)); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *validate {
+		opts := birds.Options{Oracle: birds.OracleConfig{
+			MaxTuples:        3,
+			RandomTrials:     *trials,
+			ExhaustiveBudget: *budget,
+			GuideBudget:      *budget,
+			Seed:             1,
+		}}
+		res, err := strategy.ValidateWith(getRules, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if !res.Valid {
+			fmt.Printf("INVALID: %s check failed: %s\n", res.Failure.Pass, res.Failure.Detail)
+			if res.Failure.Witness != nil {
+				fmt.Printf("counterexample instance:\n%s", res.Failure.Witness)
+			}
+			os.Exit(1)
+		}
+		origin := "derived"
+		if res.UsedExpected {
+			origin = "confirmed expected"
+		}
+		fmt.Printf("VALID (%.3fs, bounded oracle)\nview definition (%s):\n", res.Elapsed.Seconds(), origin)
+		for _, r := range res.Get {
+			fmt.Printf("  %s\n", r)
+		}
+		getRules = res.Get
+	}
+
+	if *emitInc {
+		dput, err := strategy.Incrementalize()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("incrementalized program (∂put):\n%s", dput)
+		incSQL, err := strategy.CompileIncrementalSQL()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("incrementalized trigger program: %d bytes (use -sql for the original)\n", len(incSQL))
+	}
+
+	if *sqlOut != "" {
+		if getRules == nil {
+			fatal(fmt.Errorf("birds: -sql requires a view definition (enable -validate or pass -expected-get)"))
+		}
+		sql, err := strategy.CompileSQL(getRules)
+		if err != nil {
+			fatal(err)
+		}
+		if *sqlOut == "-" {
+			fmt.Print(sql)
+		} else if err := os.WriteFile(*sqlOut, []byte(sql), 0o644); err != nil {
+			fatal(err)
+		} else {
+			fmt.Printf("compiled SQL written to %s (%d bytes)\n", *sqlOut, len(sql))
+		}
+	}
+}
+
+func readSource(file string) (string, error) {
+	if file == "" {
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), err
+	}
+	data, err := os.ReadFile(file)
+	return string(data), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "birds:", err)
+	os.Exit(2)
+}

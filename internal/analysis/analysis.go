@@ -1,0 +1,415 @@
+// Package analysis implements the static analyses of Section 3 of the paper:
+// the predicate dependency graph and nonrecursion check, stratification into
+// an evaluation order, rule safety (range restriction), the guarded-negation
+// check of §3.2.1, the linear-view restriction of Definition 3.2, and the
+// resulting LVGN-Datalog classification used by the validation algorithm.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"birds/internal/datalog"
+)
+
+// Deps returns the predicate dependency graph of the program: an edge from
+// each rule-head predicate to every predicate occurring in that rule's body.
+func Deps(p *datalog.Program) map[datalog.PredSym][]datalog.PredSym {
+	deps := make(map[datalog.PredSym][]datalog.PredSym)
+	for _, r := range p.Rules {
+		if r.IsConstraint() {
+			continue
+		}
+		h := r.Head.Pred
+		seen := make(map[datalog.PredSym]bool)
+		for _, d := range deps[h] {
+			seen[d] = true
+		}
+		for _, l := range r.Body {
+			if l.Atom == nil {
+				continue
+			}
+			if !seen[l.Atom.Pred] {
+				seen[l.Atom.Pred] = true
+				deps[h] = append(deps[h], l.Atom.Pred)
+			}
+		}
+	}
+	return deps
+}
+
+// CheckNonrecursive verifies that the dependency graph restricted to IDB
+// predicates is acyclic (the language of the paper is nonrecursive Datalog).
+func CheckNonrecursive(p *datalog.Program) error {
+	_, err := Stratify(p)
+	return err
+}
+
+// Stratify returns the IDB predicates in a valid bottom-up evaluation order:
+// every predicate appears after all IDB predicates it depends on. It fails
+// if the program is recursive. The order is deterministic.
+func Stratify(p *datalog.Program) ([]datalog.PredSym, error) {
+	idb := p.IDBPreds()
+	deps := Deps(p)
+
+	// Deterministic node order.
+	nodes := make([]datalog.PredSym, 0, len(idb))
+	for s := range idb {
+		nodes = append(nodes, s)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Name != nodes[j].Name {
+			return nodes[i].Name < nodes[j].Name
+		}
+		return nodes[i].Delta < nodes[j].Delta
+	})
+
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := make(map[datalog.PredSym]int)
+	var order []datalog.PredSym
+	var visit func(s datalog.PredSym) error
+	visit = func(s datalog.PredSym) error {
+		switch state[s] {
+		case gray:
+			return fmt.Errorf("analysis: program is recursive through predicate %s", s)
+		case black:
+			return nil
+		}
+		state[s] = gray
+		// Deterministic edge order: deps preserves first-occurrence order.
+		for _, d := range deps[s] {
+			if idb[d] {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[s] = black
+		order = append(order, s)
+		return nil
+	}
+	for _, s := range nodes {
+		if err := visit(s); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// boundVars computes the set of variables of a rule body that are range
+// restricted: bound by a positive atom, or transitively by a positive
+// equality with a constant or an already-bound variable.
+func boundVars(body []datalog.Literal) map[string]bool {
+	bound := make(map[string]bool)
+	for _, l := range body {
+		if l.Atom != nil && !l.Neg {
+			for _, v := range l.Atom.Vars() {
+				bound[v] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, l := range body {
+			if l.Builtin == nil || l.Neg || l.Builtin.Op != datalog.OpEq {
+				continue
+			}
+			a, b := l.Builtin.L, l.Builtin.R
+			bind := func(t, other datalog.Term) {
+				if !t.IsVar() || bound[t.Var] {
+					return
+				}
+				if other.IsConst() || (other.IsVar() && bound[other.Var]) {
+					bound[t.Var] = true
+					changed = true
+				}
+			}
+			bind(a, b)
+			bind(b, a)
+		}
+	}
+	return bound
+}
+
+// CheckRuleSafety verifies the range restriction of §2.1: every variable in
+// the rule head, in a negated literal, or in a comparison must be bound by a
+// positive atom or a positive equality chain.
+func CheckRuleSafety(r *datalog.Rule) error {
+	bound := boundVars(r.Body)
+	need := func(where string, vars []string) error {
+		for _, v := range vars {
+			if !bound[v] {
+				return fmt.Errorf("analysis: unsafe rule %q: variable %s in %s is not range restricted", r, v, where)
+			}
+		}
+		return nil
+	}
+	if r.Head != nil {
+		if err := need("head", r.Head.Vars()); err != nil {
+			return err
+		}
+	}
+	for _, l := range r.Body {
+		switch {
+		case l.Neg:
+			if err := need("negated literal "+l.String(), l.Vars()); err != nil {
+				return err
+			}
+		case l.Builtin != nil && l.Builtin.Op != datalog.OpEq:
+			if err := need("comparison "+l.String(), l.Vars()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSafety verifies safety for every rule of the program.
+func CheckSafety(p *datalog.Program) error {
+	for _, r := range p.Rules {
+		if err := CheckRuleSafety(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// constEqVars returns the variables equated to a constant by a positive
+// equality in the body; per the proof of Lemma 3.1 such equalities act as
+// guards for their variable.
+func constEqVars(body []datalog.Literal) map[string]bool {
+	cv := make(map[string]bool)
+	for _, l := range body {
+		if l.Builtin == nil || l.Neg || l.Builtin.Op != datalog.OpEq {
+			continue
+		}
+		if l.Builtin.L.IsVar() && l.Builtin.R.IsConst() {
+			cv[l.Builtin.L.Var] = true
+		}
+		if l.Builtin.R.IsVar() && l.Builtin.L.IsConst() {
+			cv[l.Builtin.R.Var] = true
+		}
+	}
+	return cv
+}
+
+// guardedBy reports whether vars (minus the constant-equated ones) all occur
+// in a single positive body atom.
+func guardedBy(body []datalog.Literal, vars []string) bool {
+	cv := constEqVars(body)
+	var needVars []string
+	for _, v := range vars {
+		if !cv[v] {
+			needVars = append(needVars, v)
+		}
+	}
+	if len(needVars) == 0 {
+		return true
+	}
+	for _, l := range body {
+		if l.Atom == nil || l.Neg {
+			continue
+		}
+		has := make(map[string]bool)
+		for _, v := range l.Atom.Vars() {
+			has[v] = true
+		}
+		ok := true
+		for _, v := range needVars {
+			if !has[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckRuleGuarded verifies the negation-guard condition of §3.2.1 for one
+// rule: the head atom and every negated literal must be guarded by a
+// positive body atom (helped by X = c equalities).
+func CheckRuleGuarded(r *datalog.Rule) error {
+	if r.Head != nil && len(r.Body) > 0 {
+		if !guardedBy(r.Body, r.Head.Vars()) {
+			return fmt.Errorf("analysis: rule %q: head atom is not negation guarded", r)
+		}
+	}
+	for _, l := range r.Body {
+		if !l.Neg {
+			continue
+		}
+		if !guardedBy(r.Body, l.Vars()) {
+			return fmt.Errorf("analysis: rule %q: negated literal %s is not guarded", r, l)
+		}
+	}
+	return nil
+}
+
+// CheckGuardedNegation verifies the guard condition for every rule,
+// including constraints (§3.2.3 extends guarded negation to ⊥ rules).
+func CheckGuardedNegation(p *datalog.Program) error {
+	for _, r := range p.Rules {
+		if err := CheckRuleGuarded(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckSimpleComparisons verifies the LVGN comparison restriction of §3.2.1:
+// comparison predicates are of the form X < c or X > c (variable against
+// constant). Equality is unrestricted.
+func CheckSimpleComparisons(p *datalog.Program) error {
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if l.Builtin == nil || l.Builtin.Op == datalog.OpEq || l.Builtin.Op == datalog.OpNe {
+				continue
+			}
+			b := l.Builtin
+			varConst := (b.L.IsVar() && b.R.IsConst()) || (b.L.IsConst() && b.R.IsVar())
+			if !varConst {
+				return fmt.Errorf("analysis: rule %q: comparison %s is not of the form variable-vs-constant", r, l)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckLinearView verifies Definition 3.2 (extended per §3.2.3): the view
+// predicate occurs only in rules defining delta relations and in integrity
+// constraints; each delta rule has at most one view atom; and no anonymous
+// variable occurs in a view atom.
+func CheckLinearView(p *datalog.Program) error {
+	if p.View == nil {
+		return fmt.Errorf("analysis: program has no view declaration")
+	}
+	v := p.View.Name
+	for _, r := range p.Rules {
+		count := 0
+		for _, l := range r.Body {
+			if l.Atom == nil || l.Atom.Pred.Name != v {
+				continue
+			}
+			if l.Atom.Pred.IsDelta() {
+				continue // +v/-v in incrementalized programs are not view atoms
+			}
+			count++
+			if l.Atom.HasAnon() {
+				return fmt.Errorf("analysis: rule %q: anonymous variable in view atom (projection on the view)", r)
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		if !r.IsConstraint() && !r.Head.Pred.IsDelta() {
+			return fmt.Errorf("analysis: rule %q: view occurs outside delta rules and constraints", r)
+		}
+		if count > 1 {
+			return fmt.Errorf("analysis: rule %q: self-join on the view", r)
+		}
+	}
+	return nil
+}
+
+// Class is the result of classifying a putback program against the language
+// fragments of the paper. A program is in NR-Datalog¬,=,< when it is
+// nonrecursive and safe; it is in LVGN-Datalog when additionally every rule
+// is negation guarded, comparisons are variable-vs-constant, and the view is
+// used linearly.
+type Class struct {
+	Nonrecursive      bool
+	Safe              bool
+	Guarded           bool
+	SimpleComparisons bool
+	LinearView        bool
+	Violations        []string // human-readable reasons for failed checks
+}
+
+// NRDatalog reports membership in NR-Datalog with negation and built-ins.
+func (c Class) NRDatalog() bool { return c.Nonrecursive && c.Safe }
+
+// LVGN reports membership in LVGN-Datalog (§3.2).
+func (c Class) LVGN() bool {
+	return c.Nonrecursive && c.Safe && c.Guarded && c.SimpleComparisons && c.LinearView
+}
+
+// Classify runs all fragment checks on the program.
+func Classify(p *datalog.Program) Class {
+	c := Class{Nonrecursive: true, Safe: true, Guarded: true, SimpleComparisons: true, LinearView: true}
+	record := func(flag *bool, err error) {
+		if err != nil {
+			*flag = false
+			c.Violations = append(c.Violations, err.Error())
+		}
+	}
+	record(&c.Nonrecursive, CheckNonrecursive(p))
+	record(&c.Safe, CheckSafety(p))
+	record(&c.Guarded, CheckGuardedNegation(p))
+	record(&c.SimpleComparisons, CheckSimpleComparisons(p))
+	record(&c.LinearView, CheckLinearView(p))
+	return c
+}
+
+// CheckPutbackShape verifies the structural obligations of a putback
+// program (§3.1): a view is declared, every delta head targets a declared
+// source with matching arity, every source/view atom matches its declared
+// arity, and no rule redefines a declared (EDB) relation without a delta
+// marker.
+func CheckPutbackShape(p *datalog.Program) error {
+	if p.View == nil {
+		return fmt.Errorf("analysis: putback program must declare a view")
+	}
+	arity := make(map[string]int)
+	for _, s := range p.Sources {
+		arity[s.Name] = s.Arity()
+	}
+	if _, dup := arity[p.View.Name]; dup {
+		return fmt.Errorf("analysis: view %q collides with a source relation", p.View.Name)
+	}
+	arity[p.View.Name] = p.View.Arity()
+
+	idb := p.IDBPreds()
+	checkAtom := func(r *datalog.Rule, a *datalog.Atom) error {
+		want, declared := arity[a.Pred.Name]
+		if declared && a.Arity() != want {
+			return fmt.Errorf("analysis: rule %q: %s has arity %d, declared %d", r, a.Pred, a.Arity(), want)
+		}
+		return nil
+	}
+	for _, r := range p.Rules {
+		if r.Head != nil {
+			h := r.Head.Pred
+			if h.IsDelta() {
+				if _, ok := arity[h.Name]; !ok || h.Name == p.View.Name {
+					return fmt.Errorf("analysis: rule %q: delta head %s does not target a declared source", r, h)
+				}
+			} else if _, declared := arity[h.Name]; declared {
+				return fmt.Errorf("analysis: rule %q: head redefines declared relation %q", r, h.Name)
+			}
+			if err := checkAtom(r, r.Head); err != nil {
+				return err
+			}
+		}
+		for _, l := range r.Body {
+			if l.Atom == nil {
+				continue
+			}
+			if err := checkAtom(r, l.Atom); err != nil {
+				return err
+			}
+			a := l.Atom.Pred
+			_, declared := arity[a.Name]
+			if !a.IsDelta() && !declared && !idb[a] {
+				return fmt.Errorf("analysis: rule %q: undefined predicate %s", r, a)
+			}
+		}
+	}
+	return nil
+}

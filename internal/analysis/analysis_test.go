@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"birds/internal/datalog"
+)
+
+func mustParse(t *testing.T, src string) *datalog.Program {
+	t.Helper()
+	p, err := datalog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustRule(t *testing.T, src string) *datalog.Rule {
+	t.Helper()
+	r, err := datalog.ParseRule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+const unionSrc = `
+source r1(a:int).
+source r2(a:int).
+view v(a:int).
+-r1(X) :- r1(X), not v(X).
+-r2(X) :- r2(X), not v(X).
++r1(X) :- v(X), not r1(X), not r2(X).
+`
+
+func TestStratifyNonrecursive(t *testing.T) {
+	p := mustParse(t, `
+source r(a:int).
+view v(a:int).
+a(X) :- r(X).
+b(X) :- a(X), not c(X).
+c(X) :- r(X), not v(X).
++r(X) :- b(X).
+`)
+	order, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[datalog.PredSym]int)
+	for i, s := range order {
+		pos[s] = i
+	}
+	if !(pos[datalog.Pred("a")] < pos[datalog.Pred("b")]) {
+		t.Errorf("a must precede b: %v", order)
+	}
+	if !(pos[datalog.Pred("c")] < pos[datalog.Pred("b")]) {
+		t.Errorf("c must precede b: %v", order)
+	}
+	if !(pos[datalog.Pred("b")] < pos[datalog.Ins("r")]) {
+		t.Errorf("b must precede +r: %v", order)
+	}
+	// Determinism.
+	order2, _ := Stratify(p)
+	for i := range order {
+		if order[i] != order2[i] {
+			t.Fatal("Stratify is not deterministic")
+		}
+	}
+}
+
+func TestStratifyRejectsRecursion(t *testing.T) {
+	p := mustParse(t, `
+source r(a:int).
+view v(a:int).
+a(X) :- b(X).
+b(X) :- a(X).
+`)
+	if _, err := Stratify(p); err == nil {
+		t.Fatal("recursive program must be rejected")
+	}
+	p2 := mustParse(t, `
+source r(a:int).
+view v(a:int).
+a(X) :- a(X).
+`)
+	if err := CheckNonrecursive(p2); err == nil {
+		t.Fatal("self-recursive program must be rejected")
+	}
+}
+
+func TestDeps(t *testing.T) {
+	p := mustParse(t, unionSrc)
+	deps := Deps(p)
+	got := deps[datalog.Ins("r1")]
+	if len(got) != 3 {
+		t.Fatalf("deps of +r1 = %v", got)
+	}
+	if got[0] != datalog.Pred("v") || got[1] != datalog.Pred("r1") || got[2] != datalog.Pred("r2") {
+		t.Errorf("dep order not first-occurrence: %v", got)
+	}
+}
+
+func TestSafety(t *testing.T) {
+	good := []string{
+		"-r(X) :- r(X), not v(X).",
+		"+r(X,Y) :- v(X), Y = 1.",        // bound via equality with constant
+		"+r(X,Y) :- v(X), Y = X.",        // bound via equality chain
+		"+r(X,Y) :- v(X), Y = Z, Z = 0.", // two-step chain
+		"_|_ :- v(X), X > 2.",
+	}
+	for _, src := range good {
+		if err := CheckRuleSafety(mustRule(t, src)); err != nil {
+			t.Errorf("rule %q should be safe: %v", src, err)
+		}
+	}
+	bad := []string{
+		"+r(X,Y) :- v(X).",           // head var Y unbound
+		"-r(X) :- r(X), not v(X,Y).", // negated var Y unbound
+		"_|_ :- v(X), Y > 2.",        // comparison var unbound
+		"+r(X) :- v(X), not Y = 1.",  // negated equality unbound
+		"+r(X,Y) :- v(X), Y = Z.",    // chain does not reach a constant
+	}
+	for _, src := range bad {
+		if err := CheckRuleSafety(mustRule(t, src)); err == nil {
+			t.Errorf("rule %q should be unsafe", src)
+		}
+	}
+	p := mustParse(t, unionSrc)
+	if err := CheckSafety(p); err != nil {
+		t.Errorf("union program should be safe: %v", err)
+	}
+}
+
+func TestGuardedNegation(t *testing.T) {
+	// Example 3.2 of the paper.
+	good := mustRule(t, "h(X,Y,Z) :- r1(X,Y,Z), not Z = 1, not r2(X,Y,Z).")
+	if err := CheckRuleGuarded(good); err != nil {
+		t.Errorf("example 3.2 should be guarded: %v", err)
+	}
+	// Footnote 7: primary key constraint is not guarded.
+	pk := mustRule(t, "_|_ :- r(A,B1), r(A,B2), not B1 = B2.")
+	if err := CheckRuleGuarded(pk); err == nil {
+		t.Error("primary-key constraint should not be guarded")
+	}
+	// Head guarded via an equality constant.
+	eq := mustRule(t, "+r(X,Y) :- v(X), Y = 'unknown'.")
+	if err := CheckRuleGuarded(eq); err != nil {
+		t.Errorf("equality-guarded head should pass: %v", err)
+	}
+	// Negated atom with variables spanning two positive atoms: unguarded.
+	span := mustRule(t, "h(X,Y) :- r(X), s(Y), not q(X,Y).")
+	if err := CheckRuleGuarded(span); err == nil {
+		t.Error("negation spanning two guards should fail")
+	}
+	p := mustParse(t, unionSrc)
+	if err := CheckGuardedNegation(p); err != nil {
+		t.Errorf("union program should be guarded: %v", err)
+	}
+}
+
+func TestSimpleComparisons(t *testing.T) {
+	ok := mustParse(t, `
+source r(a:int).
+view v(a:int).
+-r(X) :- r(X), X > 2, not v(X).
+`)
+	if err := CheckSimpleComparisons(ok); err != nil {
+		t.Errorf("var-const comparison should pass: %v", err)
+	}
+	bad := mustParse(t, `
+source r(a:int, b:int).
+view v(a:int, b:int).
+-r(X,Y) :- r(X,Y), X < Y, not v(X,Y).
+`)
+	if err := CheckSimpleComparisons(bad); err == nil {
+		t.Error("var-var comparison should fail the LVGN restriction")
+	}
+}
+
+func TestLinearView(t *testing.T) {
+	// Example 3.3: rule1 conforms; rule2 (projection) and rule3 (self-join)
+	// do not.
+	ok := mustParse(t, `
+source r(a:int, b:int, c:int).
+view v(a:int, b:int).
+-r(X,Y,Z) :- r(X,Y,Z), not v(X,Y).
+`)
+	if err := CheckLinearView(ok); err != nil {
+		t.Errorf("rule1 should conform: %v", err)
+	}
+	proj := mustParse(t, `
+source r(a:int, b:int, c:int).
+view v(a:int, b:int).
+-r(X,Y,Z) :- r(X,Y,Z), not v(X,_).
+`)
+	if err := CheckLinearView(proj); err == nil {
+		t.Error("projection on view (rule2) should violate linear view")
+	}
+	selfJoin := mustParse(t, `
+source r(a:int, b:int, c:int).
+view v(a:int, b:int).
++r(X,Y,Z) :- v(X,Y), v(Y,Z), not r(X,Y,Z).
+`)
+	if err := CheckLinearView(selfJoin); err == nil {
+		t.Error("self-join on view (rule3) should violate linear view")
+	}
+	// View used in a non-delta, non-constraint rule: violation.
+	aux := mustParse(t, `
+source r(a:int).
+view v(a:int).
+helper(X) :- v(X).
++r(X) :- helper(X), not r(X).
+`)
+	if err := CheckLinearView(aux); err == nil {
+		t.Error("view in auxiliary rule should violate linear view")
+	}
+	// View in a constraint is allowed (§3.2.3).
+	cons := mustParse(t, `
+source r(a:int).
+view v(a:int).
+_|_ :- v(X), X > 2.
++r(X) :- v(X), not r(X).
+`)
+	if err := CheckLinearView(cons); err != nil {
+		t.Errorf("view in constraint should be allowed: %v", err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	p := mustParse(t, unionSrc)
+	c := Classify(p)
+	if !c.LVGN() || !c.NRDatalog() {
+		t.Errorf("union program should be LVGN: %+v", c)
+	}
+	// Inner join view (footnote 6): not LVGN but still NR-Datalog.
+	join := mustParse(t, `
+source s1(a:int, b:int).
+source s2(b:int, c:int).
+view v(a:int, b:int, c:int).
++s1(X,Y) :- v(X,Y,Z), not s1(X,Y).
++s2(Y,Z) :- v(X,Y,Z), not s2(Y,Z).
+-s1(X,Y) :- s1(X,Y), s2(Y,Z), not v(X,Y,Z).
+`)
+	c2 := Classify(join)
+	if !c2.NRDatalog() {
+		t.Errorf("join program should be NR-Datalog: %+v", c2)
+	}
+	if c2.LVGN() {
+		t.Error("join deletion rule is not guarded; program must not be LVGN")
+	}
+	if len(c2.Violations) == 0 {
+		t.Error("violations should be reported")
+	}
+}
+
+func TestCheckPutbackShape(t *testing.T) {
+	if err := CheckPutbackShape(mustParse(t, unionSrc)); err != nil {
+		t.Errorf("union program shape should be fine: %v", err)
+	}
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no view", "source r(a:int).\n+r(X) :- r(X).", "must declare a view"},
+		{"delta on view", "source r(a:int).\nview v(a:int).\n+v(X) :- r(X).", "does not target a declared source"},
+		{"delta on unknown", "source r(a:int).\nview v(a:int).\n+s(X) :- v(X).", "does not target a declared source"},
+		{"arity mismatch", "source r(a:int).\nview v(a:int).\n+r(X) :- v(X), not r(X,X).", "arity"},
+		{"redefine source", "source r(a:int).\nview v(a:int).\nr(X) :- v(X).", "redefines declared relation"},
+		{"undefined body pred", "source r(a:int).\nview v(a:int).\n+r(X) :- v(X), mystery(X).", "undefined predicate"},
+		{"view-source collision", "source v(a:int).\nview v(a:int).\n+v(X) :- v(X).", "collides"},
+	}
+	for _, c := range cases {
+		err := CheckPutbackShape(mustParse(t, c.src))
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestClassLVGNRequiresAll(t *testing.T) {
+	full := Class{Nonrecursive: true, Safe: true, Guarded: true, SimpleComparisons: true, LinearView: true}
+	if !full.LVGN() {
+		t.Error("all-true class should be LVGN")
+	}
+	for i := 0; i < 5; i++ {
+		c := full
+		switch i {
+		case 0:
+			c.Nonrecursive = false
+		case 1:
+			c.Safe = false
+		case 2:
+			c.Guarded = false
+		case 3:
+			c.SimpleComparisons = false
+		case 4:
+			c.LinearView = false
+		}
+		if c.LVGN() {
+			t.Errorf("class with flag %d false should not be LVGN", i)
+		}
+	}
+}

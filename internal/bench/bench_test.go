@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"testing"
+
+	"birds/internal/core"
+	"birds/internal/sat"
+)
+
+func testOptions() core.Options {
+	return core.Options{Oracle: sat.Config{
+		MaxTuples:        3,
+		RandomTrials:     800,
+		ExhaustiveBudget: 30000,
+		GuideBudget:      30000,
+		Seed:             1,
+	}}
+}
+
+func TestTable1SuiteShape(t *testing.T) {
+	entries := Table1()
+	if len(entries) != 32 {
+		t.Fatalf("Table 1 has 32 rows, got %d", len(entries))
+	}
+	for i, e := range entries {
+		if e.ID != i+1 {
+			t.Errorf("entry %d has ID %d", i, e.ID)
+		}
+		if e.Name == "" || e.Operators == "" {
+			t.Errorf("entry %d incomplete: %+v", i, e)
+		}
+		if e.Program == "" && e.ID != 23 {
+			t.Errorf("entry %d (%s) has no program", e.ID, e.Name)
+		}
+	}
+}
+
+// Every expressible benchmark strategy must validate, its LVGN / NR
+// classification must match the paper's column, and the expected view
+// definition must be confirmed.
+func TestTable1Validation(t *testing.T) {
+	opts := testOptions()
+	for _, e := range Table1() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			row := RunTable1Entry(e, opts)
+			if e.Program == "" {
+				if row.Err == nil {
+					t.Fatal("row 23 must report non-expressibility")
+				}
+				return
+			}
+			if row.Err != nil {
+				t.Fatalf("infrastructure error: %v", row.Err)
+			}
+			if row.LVGN != e.WantLVGN {
+				t.Errorf("LVGN = %v, paper says %v", row.LVGN, e.WantLVGN)
+			}
+			if row.NR != e.WantNR {
+				t.Errorf("NR-Datalog = %v, paper says %v", row.NR, e.WantNR)
+			}
+			if !row.Valid {
+				t.Fatalf("strategy should validate: %s", row.FailureDetail)
+			}
+			if !row.UsedExpected {
+				t.Errorf("expected get should be confirmed, derivation used instead")
+			}
+			if row.SQLBytes == 0 {
+				t.Error("compiled SQL is empty")
+			}
+			if row.LOC == 0 {
+				t.Error("LOC not recorded")
+			}
+		})
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	rows := []Table1Row{
+		{Entry: Table1Entry{ID: 23, Name: "emp_view", Operators: "IJ,P,A"}},
+	}
+	out := FormatTable1(rows)
+	if out == "" {
+		t.Fatal("empty formatting")
+	}
+}
+
+func TestFig6ViewsRunTiny(t *testing.T) {
+	for _, v := range Fig6Views() {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, incremental := range []bool{false, true} {
+				pts, err := RunFig6(v, []int{200, 400}, incremental, 4, 1)
+				if err != nil {
+					t.Fatalf("incremental=%v: %v", incremental, err)
+				}
+				if len(pts) != 2 {
+					t.Fatalf("want 2 points, got %d", len(pts))
+				}
+				for _, p := range pts {
+					if p.PerUpdate <= 0 {
+						t.Errorf("non-positive timing at size %d", p.Size)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The two execution modes must produce identical relations on the Figure 6
+// workloads.
+func TestFig6ModesAgree(t *testing.T) {
+	for _, v := range Fig6Views() {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			t.Parallel()
+			const n = 300
+			full, err := SetupFig6(v, n, false, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inc, err := SetupFig6(v, n, true, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 1; round <= 6; round++ {
+				for _, txn := range v.Update(n, round) {
+					e1 := full.Exec(txn...)
+					e2 := inc.Exec(txn...)
+					if (e1 == nil) != (e2 == nil) {
+						t.Fatalf("round %d: error mismatch: %v vs %v", round, e1, e2)
+					}
+				}
+			}
+			viewName := v.Name
+			a, err := full.Rel(viewName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := inc.Rel(viewName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.Equal(b) {
+				t.Fatalf("view diverged between modes: %d vs %d tuples", a.Len(), b.Len())
+			}
+		})
+	}
+}
+
+func TestFig6ViewByName(t *testing.T) {
+	if _, err := Fig6ViewByName("luxuryitems"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Fig6ViewByName("nope"); err == nil {
+		t.Error("unknown view must fail")
+	}
+}

@@ -1,0 +1,552 @@
+// Package bench defines the paper's evaluation workloads: the 32-view
+// benchmark of Table 1 (validation results) and the four view-updating
+// sweeps of Figure 6. The putback programs are reconstructions of the BIRDS
+// benchmark suite, matching each row's operator mix (S selection, P
+// projection, SJ semijoin, IJ inner join, LJ left join, U union, D
+// difference, A aggregation), constraint classes (PK primary key, FK
+// foreign key, ID inclusion dependency, C domain constraint, JD join
+// dependency) and LVGN-membership column.
+package bench
+
+// Table1Entry is one row of Table 1.
+type Table1Entry struct {
+	ID          int
+	Name        string
+	Operators   string
+	Constraints string
+	Source      string // sources collected from: literature (rows 1-23), Q&A sites (rows 24-32)
+	Program     string // the putback program ("" when not expressible, row 23)
+	ExpectedGet string // the expected view definition supplied to the validator
+	WantLVGN    bool   // the paper's LVGN-Datalog column
+	WantNR      bool   // the paper's NR-Datalog column
+}
+
+// Table1 returns the benchmark suite in paper order.
+func Table1() []Table1Entry {
+	return []Table1Entry{
+		{
+			ID: 1, Name: "car_master", Operators: "P", Constraints: "",
+			Source: "literature", WantLVGN: true, WantNR: true,
+			Program: `
+source car(cid:int, cname:string, price:int).
+view car_master(cid:int, cname:string).
+carp(I,N) :- car(I,N,_).
+-car(I,N,P) :- car(I,N,P), not car_master(I,N).
++car(I,N,P) :- car_master(I,N), not carp(I,N), P = 0.
+`,
+			ExpectedGet: `car_master(I,N) :- car(I,N,_).`,
+		},
+		{
+			ID: 2, Name: "goodstudents", Operators: "P,S", Constraints: "C",
+			Source: "literature", WantLVGN: true, WantNR: true,
+			Program: `
+source students(sid:int, sname:string, score:int).
+view goodstudents(sid:int, sname:string).
+_|_ :- goodstudents(S,N), not S > 0.
+ingood(S,N) :- students(S,N,Sc), Sc > 3.
+-students(S,N,Sc) :- students(S,N,Sc), Sc > 3, not goodstudents(S,N).
++students(S,N,Sc) :- goodstudents(S,N), not ingood(S,N), Sc = 4.
+`,
+			ExpectedGet: `goodstudents(S,N) :- students(S,N,Sc), Sc > 3.`,
+		},
+		{
+			ID: 3, Name: "luxuryitems", Operators: "S", Constraints: "C",
+			Source: "literature", WantLVGN: true, WantNR: true,
+			Program:     LuxuryItemsProgram,
+			ExpectedGet: `luxuryitems(I,N,P) :- items(I,N,P), P > 1000.`,
+		},
+		{
+			ID: 4, Name: "usa_city", Operators: "P,S", Constraints: "C",
+			Source: "literature", WantLVGN: true, WantNR: true,
+			Program: `
+source city(cname:string, country:string, pop:int).
+view usa_city(cname:string, pop:int).
+_|_ :- usa_city(C,P), not P > 0.
+usa(C,P) :- city(C,'USA',P).
+-city(C,T,P) :- city(C,T,P), T = 'USA', not usa_city(C,P).
++city(C,T,P) :- usa_city(C,P), not usa(C,P), T = 'USA'.
+`,
+			ExpectedGet: `usa_city(C,P) :- city(C,'USA',P).`,
+		},
+		{
+			ID: 5, Name: "ced", Operators: "D", Constraints: "",
+			Source: "literature", WantLVGN: true, WantNR: true,
+			Program: `
+source ed(emp_name:string, dept_name:string).
+source eed(emp_name:string, dept_name:string).
+view ced(emp_name:string, dept_name:string).
++ed(E,D) :- ced(E,D), not ed(E,D).
+-eed(E,D) :- ced(E,D), eed(E,D).
++eed(E,D) :- ed(E,D), not ced(E,D), not eed(E,D).
+`,
+			ExpectedGet: `ced(E,D) :- ed(E,D), not eed(E,D).`,
+		},
+		{
+			ID: 6, Name: "residents1962", Operators: "S", Constraints: "C",
+			Source: "literature", WantLVGN: true, WantNR: true,
+			Program: `
+source residents(emp_name:string, birth_date:date, gender:string).
+view residents1962(emp_name:string, birth_date:date, gender:string).
+_|_ :- residents1962(E,B,G), B > '1962-12-31'.
+_|_ :- residents1962(E,B,G), B < '1962-01-01'.
++residents(E,B,G) :- residents1962(E,B,G), not residents(E,B,G).
+-residents(E,B,G) :- residents(E,B,G), not B < '1962-01-01', not B > '1962-12-31', not residents1962(E,B,G).
+`,
+			ExpectedGet: `residents1962(E,B,G) :- residents(E,B,G), not B < '1962-01-01', not B > '1962-12-31'.`,
+		},
+		{
+			ID: 7, Name: "employees", Operators: "SJ,P", Constraints: "ID",
+			Source: "literature", WantLVGN: true, WantNR: true,
+			Program: `
+source residents(emp_name:string, birth_date:date, gender:string).
+source ced(emp_name:string, dept_name:string).
+view employees(emp_name:string, birth_date:date, gender:string).
+_|_ :- employees(E,B,G), not ced(E,_).
++residents(E,B,G) :- employees(E,B,G), not residents(E,B,G).
+-residents(E,B,G) :- residents(E,B,G), ced(E,_), not employees(E,B,G).
+`,
+			ExpectedGet: `employees(E,B,G) :- residents(E,B,G), ced(E,_).`,
+		},
+		{
+			ID: 8, Name: "researchers", Operators: "SJ,S,P", Constraints: "",
+			Source: "literature", WantLVGN: true, WantNR: true,
+			Program: `
+source emp(ename:string, pos:string).
+source projects(ename:string, pname:string).
+view researchers(ename:string).
+isr(E) :- emp(E,'researcher'), projects(E,_).
+-emp(E,P) :- emp(E,P), P = 'researcher', projects(E,_), not researchers(E).
++emp(E,P) :- researchers(E), not isr(E), P = 'researcher'.
++projects(E,P) :- researchers(E), not projects(E,_), P = 'unknown'.
+`,
+			ExpectedGet: `researchers(E) :- emp(E,'researcher'), projects(E,_).`,
+		},
+		{
+			ID: 9, Name: "retired", Operators: "SJ,P,D", Constraints: "",
+			Source: "literature", WantLVGN: true, WantNR: true,
+			Program: `
+source residents(emp_name:string, birth_date:date, gender:string).
+source ced(emp_name:string, dept_name:string).
+view retired(emp_name:string).
+-ced(E,D) :- ced(E,D), retired(E).
++ced(E,D) :- residents(E,_,_), not retired(E), not ced(E,_), D = 'unknown'.
++residents(E,B,G) :- retired(E), G = 'unknown', not residents(E,_,_), B = '00-00-00'.
+`,
+			ExpectedGet: `retired(E) :- residents(E,_,_), not ced(E,_).`,
+		},
+		{
+			ID: 10, Name: "paramountmovies", Operators: "P,S", Constraints: "",
+			Source: "literature", WantLVGN: true, WantNR: true,
+			Program: `
+source movies(title:string, year:int, studio:string).
+view paramountmovies(title:string, year:int).
+pm(T,Y) :- movies(T,Y,'Paramount').
+-movies(T,Y,S) :- movies(T,Y,S), S = 'Paramount', not paramountmovies(T,Y).
++movies(T,Y,S) :- paramountmovies(T,Y), not pm(T,Y), S = 'Paramount'.
+`,
+			ExpectedGet: `paramountmovies(T,Y) :- movies(T,Y,'Paramount').`,
+		},
+		{
+			ID: 11, Name: "officeinfo", Operators: "P", Constraints: "",
+			Source: "literature", WantLVGN: true, WantNR: true,
+			Program:     OfficeInfoProgram,
+			ExpectedGet: `officeinfo(E,O) :- works(E,O,_).`,
+		},
+		{
+			ID: 12, Name: "vw_brands", Operators: "U,P", Constraints: "C",
+			Source: "literature", WantLVGN: true, WantNR: true,
+			Program:     VwBrandsProgram,
+			ExpectedGet: "vw_brands(N) :- brands1(_,N).\nvw_brands(N) :- brands2(_,N).",
+		},
+		{
+			ID: 13, Name: "tracks2", Operators: "P", Constraints: "",
+			Source: "literature", WantLVGN: true, WantNR: true,
+			Program: `
+source tracks(tid:int, title:string, album:string, rating:int).
+view tracks2(tid:int, title:string, rating:int).
+tr(T,N,R) :- tracks(T,N,_,R).
+-tracks(T,N,A,R) :- tracks(T,N,A,R), not tracks2(T,N,R).
++tracks(T,N,A,R) :- tracks2(T,N,R), not tr(T,N,R), A = 'unknown'.
+`,
+			ExpectedGet: `tracks2(T,N,R) :- tracks(T,N,_,R).`,
+		},
+		{
+			ID: 14, Name: "residents", Operators: "U", Constraints: "",
+			Source: "literature", WantLVGN: true, WantNR: true,
+			Program: `
+source male(emp_name:string, birth_date:date).
+source female(emp_name:string, birth_date:date).
+source others(emp_name:string, birth_date:date, gender:string).
+view residents(emp_name:string, birth_date:date, gender:string).
++male(E,B) :- residents(E,B,'M'), not male(E,B), not others(E,B,'M').
+-male(E,B) :- male(E,B), not residents(E,B,'M').
++female(E,B) :- residents(E,B,G), G = 'F', not female(E,B), not others(E,B,G).
+-female(E,B) :- female(E,B), not residents(E,B,'F').
++others(E,B,G) :- residents(E,B,G), not G = 'M', not G = 'F', not others(E,B,G).
+-others(E,B,G) :- others(E,B,G), not residents(E,B,G).
+`,
+			ExpectedGet: "residents(E,B,G) :- others(E,B,G).\nresidents(E,B,'F') :- female(E,B).\nresidents(E,B,'M') :- male(E,B).",
+		},
+		{
+			ID: 15, Name: "tracks3", Operators: "S", Constraints: "C",
+			Source: "literature", WantLVGN: true, WantNR: true,
+			Program: `
+source tracks(tid:int, title:string, album:string, rating:int).
+view tracks3(tid:int, title:string, album:string, rating:int).
+_|_ :- tracks3(T,N,A,R), not R > 3.
+hi(T,N,A,R) :- tracks(T,N,A,R), R > 3.
+-tracks(T,N,A,R) :- hi(T,N,A,R), not tracks3(T,N,A,R).
++tracks(T,N,A,R) :- tracks3(T,N,A,R), not tracks(T,N,A,R).
+`,
+			ExpectedGet: `tracks3(T,N,A,R) :- tracks(T,N,A,R), R > 3.`,
+		},
+		{
+			ID: 16, Name: "tracks1", Operators: "IJ", Constraints: "PK",
+			Source: "literature", WantLVGN: false, WantNR: true,
+			Program: `
+source albums(album:string, quantity:int).
+source tracks(tid:int, title:string, album:string).
+view tracks1(tid:int, title:string, album:string, quantity:int).
+_|_ :- albums(A,Q1), albums(A,Q2), not Q1 = Q2.
+_|_ :- tracks(T,N,A), not albums(A,_).
+_|_ :- tracks1(T1,N1,A,Q1), tracks1(T2,N2,A,Q2), not Q1 = Q2.
+vtracks(T,N,A) :- tracks1(T,N,A,_).
+valbums(A) :- tracks1(_,_,A,_).
+albq(A,Q) :- tracks1(_,_,A,Q).
++tracks(T,N,A) :- tracks1(T,N,A,Q), not tracks(T,N,A).
+-tracks(T,N,A) :- tracks(T,N,A), not vtracks(T,N,A).
++albums(A,Q) :- albq(A,Q), not albums(A,Q).
+-albums(A,Q) :- albums(A,Q), valbums(A), not albq(A,Q).
+`,
+			ExpectedGet: `tracks1(T,N,A,Q) :- tracks(T,N,A), albums(A,Q).`,
+		},
+		{
+			ID: 17, Name: "bstudents", Operators: "IJ,P,S", Constraints: "PK",
+			Source: "literature", WantLVGN: false, WantNR: true,
+			Program: `
+source students(sid:int, sname:string).
+source grades(sid:int, grade:string).
+view bstudents(sid:int, sname:string).
+_|_ :- students(S,N1), students(S,N2), not N1 = N2.
+_|_ :- bstudents(S,N1), bstudents(S,N2), not N1 = N2.
+hasb(S) :- grades(S,'B').
+vb(S) :- bstudents(S,_).
++grades(S,G) :- bstudents(S,N), not hasb(S), G = 'B'.
++students(S,N) :- bstudents(S,N), not students(S,N).
+-grades(S,G) :- grades(S,G), G = 'B', students(S,_), not vb(S).
+-students(S,N) :- students(S,N), vb(S), not bstudents(S,N).
+`,
+			ExpectedGet: `bstudents(S,N) :- students(S,N), grades(S,'B').`,
+		},
+		{
+			ID: 18, Name: "all_cars", Operators: "IJ", Constraints: "PK, FK",
+			Source: "literature", WantLVGN: false, WantNR: true,
+			Program: `
+source cars(cid:int, model:string).
+source colors(cid:int, color:string).
+view all_cars(cid:int, model:string, color:string).
+_|_ :- cars(C,M1), cars(C,M2), not M1 = M2.
+_|_ :- colors(C,_), not cars(C,_).
+_|_ :- all_cars(C,M1,_), all_cars(C,M2,_), not M1 = M2.
+vcar(C,M) :- all_cars(C,M,_).
+vcarc(C) :- all_cars(C,_,_).
+vcol(C,X) :- all_cars(C,_,X).
++cars(C,M) :- all_cars(C,M,X), not cars(C,M).
++colors(C,X) :- all_cars(C,M,X), not colors(C,X).
+-cars(C,M) :- cars(C,M), vcarc(C), not vcar(C,M).
+-colors(C,X) :- colors(C,X), not vcol(C,X).
+`,
+			ExpectedGet: `all_cars(C,M,X) :- cars(C,M), colors(C,X).`,
+		},
+		{
+			ID: 19, Name: "measurement", Operators: "U", Constraints: "C, ID",
+			Source: "literature", WantLVGN: true, WantNR: true,
+			Program: `
+source m1(mid:int, val:int).
+source m2(mid:int, val:int).
+view measurement(mid:int, val:int).
+_|_ :- m1(I,V), not I < 1000.
+_|_ :- m2(I,V), I < 1000.
+_|_ :- measurement(I,V), not V > 0.
++m1(I,V) :- measurement(I,V), I < 1000, not m1(I,V).
++m2(I,V) :- measurement(I,V), not I < 1000, not m2(I,V).
+-m1(I,V) :- m1(I,V), V > 0, not measurement(I,V).
+-m2(I,V) :- m2(I,V), V > 0, not measurement(I,V).
+`,
+			ExpectedGet: "measurement(I,V) :- m1(I,V), V > 0.\nmeasurement(I,V) :- m2(I,V), V > 0.",
+		},
+		{
+			ID: 20, Name: "newpc", Operators: "IJ,P,S", Constraints: "JD",
+			Source: "literature", WantLVGN: false, WantNR: true,
+			Program: `
+source pcs(pcid:int, maker:string).
+source specs(pcid:int, speed:int).
+view newpc(pcid:int, maker:string).
+_|_ :- newpc(P,M1), newpc(P,M2), not M1 = M2.
+fast(P) :- specs(P,S), S > 2000.
+vpc(P) :- newpc(P,_).
++pcs(P,M) :- newpc(P,M), not pcs(P,M).
++specs(P,S) :- newpc(P,M), not fast(P), S = 2001.
+-pcs(P,M) :- pcs(P,M), vpc(P), not newpc(P,M).
+-specs(P,S) :- specs(P,S), S > 2000, pcs(P,_), not vpc(P).
+`,
+			ExpectedGet: `newpc(P,M) :- pcs(P,M), specs(P,S), S > 2000.`,
+		},
+		{
+			ID: 21, Name: "activestudents", Operators: "IJ,P,S", Constraints: "PK, JD",
+			Source: "literature", WantLVGN: false, WantNR: true,
+			Program: `
+source people(pid:int, pname:string).
+source enrolled(pid:int, status:string).
+view activestudents(pid:int, pname:string).
+_|_ :- people(P,N1), people(P,N2), not N1 = N2.
+_|_ :- activestudents(P,N1), activestudents(P,N2), not N1 = N2.
+act(P) :- enrolled(P,'active').
+vact(P) :- activestudents(P,_).
++people(P,N) :- activestudents(P,N), not people(P,N).
++enrolled(P,S) :- activestudents(P,N), not act(P), S = 'active'.
+-people(P,N) :- people(P,N), vact(P), not activestudents(P,N).
+-enrolled(P,S) :- enrolled(P,S), S = 'active', people(P,_), not vact(P).
+`,
+			ExpectedGet: `activestudents(P,N) :- people(P,N), enrolled(P,'active').`,
+		},
+		{
+			ID: 22, Name: "vw_customers", Operators: "IJ,P", Constraints: "PK, FK, JD",
+			Source: "literature", WantLVGN: false, WantNR: true,
+			Program: `
+source customers(cid:int, cname:string).
+source accounts(cid:int, balance:int).
+view vw_customers(cid:int, cname:string, balance:int).
+_|_ :- customers(C,N1), customers(C,N2), not N1 = N2.
+_|_ :- accounts(C,B1), accounts(C,B2), not B1 = B2.
+_|_ :- accounts(C,_), not customers(C,_).
+_|_ :- vw_customers(C,N1,B1), vw_customers(C,N2,B2), not N1 = N2.
+_|_ :- vw_customers(C,N1,B1), vw_customers(C,N2,B2), not B1 = B2.
+vc(C,N) :- vw_customers(C,N,_).
+vcc(C) :- vw_customers(C,_,_).
+vb(C,B) :- vw_customers(C,_,B).
++customers(C,N) :- vw_customers(C,N,B), not customers(C,N).
++accounts(C,B) :- vw_customers(C,N,B), not accounts(C,B).
+-customers(C,N) :- customers(C,N), vcc(C), not vc(C,N).
+-accounts(C,B) :- accounts(C,B), not vb(C,B).
+`,
+			ExpectedGet: `vw_customers(C,N,B) :- customers(C,N), accounts(C,B).`,
+		},
+		{
+			ID: 23, Name: "emp_view", Operators: "IJ,P,A", Constraints: "",
+			Source: "literature", WantLVGN: false, WantNR: false,
+			// Aggregation (COUNT/SUM over a join) is not expressible in
+			// NR-Datalog with negation; the paper reports '-' for this row.
+			Program:     "",
+			ExpectedGet: "",
+		},
+		{
+			ID: 24, Name: "ukaz_lok", Operators: "S", Constraints: "C",
+			Source: "Q&A sites", WantLVGN: true, WantNR: true,
+			Program: `
+source lok(lid:int, stav:int).
+view ukaz_lok(lid:int, stav:int).
+_|_ :- ukaz_lok(L,S), not S > 0.
+pos(L,S) :- lok(L,S), S > 0.
+-lok(L,S) :- pos(L,S), not ukaz_lok(L,S).
++lok(L,S) :- ukaz_lok(L,S), not lok(L,S).
+`,
+			ExpectedGet: `ukaz_lok(L,S) :- lok(L,S), S > 0.`,
+		},
+		{
+			ID: 25, Name: "message", Operators: "U", Constraints: "C",
+			Source: "Q&A sites", WantLVGN: true, WantNR: true,
+			Program: `
+source inbox(mid:int, txt:string).
+source outbox(mid:int, txt:string).
+view message(mid:int, txt:string, dir:string).
+_|_ :- message(M,T,D), not D = 'in', not D = 'out'.
++inbox(M,T) :- message(M,T,D), D = 'in', not inbox(M,T).
++outbox(M,T) :- message(M,T,D), D = 'out', not outbox(M,T).
+-inbox(M,T) :- inbox(M,T), not message(M,T,'in').
+-outbox(M,T) :- outbox(M,T), not message(M,T,'out').
+`,
+			ExpectedGet: "message(M,T,'in') :- inbox(M,T).\nmessage(M,T,'out') :- outbox(M,T).",
+		},
+		{
+			ID: 26, Name: "outstanding_task", Operators: "P,SJ", Constraints: "ID, C",
+			Source: "Q&A sites", WantLVGN: true, WantNR: true,
+			Program:     OutstandingTaskProgram,
+			ExpectedGet: `outstanding_task(T,N,U) :- tasks(T,N,U,0), users(U,_).`,
+		},
+		{
+			ID: 27, Name: "poi_view", Operators: "P,IJ", Constraints: "PK",
+			Source: "Q&A sites", WantLVGN: false, WantNR: true,
+			Program: `
+source poi(pid:int, pname:string).
+source coords(pid:int, lat:int).
+view poi_view(pid:int, pname:string, lat:int).
+_|_ :- poi(P,N1), poi(P,N2), not N1 = N2.
+_|_ :- coords(P,L1), coords(P,L2), not L1 = L2.
+_|_ :- coords(P,_), not poi(P,_).
+_|_ :- poi_view(P,N1,L1), poi_view(P,N2,L2), not N1 = N2.
+_|_ :- poi_view(P,N1,L1), poi_view(P,N2,L2), not L1 = L2.
+vn(P,N) :- poi_view(P,N,_).
+vp(P) :- poi_view(P,_,_).
+vl(P,L) :- poi_view(P,_,L).
++poi(P,N) :- poi_view(P,N,L), not poi(P,N).
++coords(P,L) :- poi_view(P,N,L), not coords(P,L).
+-poi(P,N) :- poi(P,N), vp(P), not vn(P,N).
+-coords(P,L) :- coords(P,L), not vl(P,L).
+`,
+			ExpectedGet: `poi_view(P,N,L) :- poi(P,N), coords(P,L).`,
+		},
+		{
+			ID: 28, Name: "phonelist", Operators: "U", Constraints: "C",
+			Source: "Q&A sites", WantLVGN: true, WantNR: true,
+			Program: `
+source personal(pid:int, phone:string).
+source work(pid:int, phone:string).
+view phonelist(pid:int, phone:string, kind:string).
+_|_ :- phonelist(P,N,K), not K = 'personal', not K = 'work'.
++personal(P,N) :- phonelist(P,N,K), K = 'personal', not personal(P,N).
++work(P,N) :- phonelist(P,N,K), K = 'work', not work(P,N).
+-personal(P,N) :- personal(P,N), not phonelist(P,N,'personal').
+-work(P,N) :- work(P,N), not phonelist(P,N,'work').
+`,
+			ExpectedGet: "phonelist(P,N,'personal') :- personal(P,N).\nphonelist(P,N,'work') :- work(P,N).",
+		},
+		{
+			ID: 29, Name: "products", Operators: "LJ", Constraints: "PK, FK, C",
+			Source: "Q&A sites", WantLVGN: false, WantNR: true,
+			Program: `
+source prod(pid:int, pname:string, cid:int).
+source cats(cid:int, cname:string).
+view products(pid:int, pname:string, cname:string).
+_|_ :- cats(I,C1), cats(I,C2), not C1 = C2.
+_|_ :- cats(I1,C), cats(I2,C), not I1 = I2.
+_|_ :- prod(P,N1,I1), prod(P,N2,I2), not N1 = N2.
+_|_ :- prod(P,N1,I1), prod(P,N2,I2), not I1 = I2.
+_|_ :- prod(P,N,I), not I = -1, not cats(I,_).
+_|_ :- products(P,N1,C1), products(P,N2,C2), not N1 = N2.
+_|_ :- products(P,N1,C1), products(P,N2,C2), not C1 = C2.
+_|_ :- products(P,N,C), not C = 'none', not catname(C).
+_|_ :- cats(I,C), I = -1.
+_|_ :- cats(I,C), C = 'none'.
+catname(C) :- cats(_,C).
++prod(P,N,I) :- products(P,N,C), C = 'none', I = -1, not prod(P,N,I).
++prod(P,N,I) :- products(P,N,C), cats(I,C), not prod(P,N,I).
+-prod(P,N,I) :- prod(P,N,I), cats(I,C), not products(P,N,C).
+-prod(P,N,I) :- prod(P,N,I), I = -1, not products(P,N,'none').
+`,
+			ExpectedGet: "products(P,N,C) :- prod(P,N,I), cats(I,C).\nproducts(P,N,'none') :- prod(P,N,I), I = -1.",
+		},
+		{
+			ID: 30, Name: "koncerty", Operators: "IJ", Constraints: "PK",
+			Source: "Q&A sites", WantLVGN: false, WantNR: true,
+			Program: `
+source koncert(kid:int, kapela:string).
+source sal(kid:int, mesto:string).
+view koncerty(kid:int, kapela:string, mesto:string).
+_|_ :- koncert(K,B1), koncert(K,B2), not B1 = B2.
+_|_ :- sal(K,M1), sal(K,M2), not M1 = M2.
+_|_ :- sal(K,_), not koncert(K,_).
+_|_ :- koncerty(K,B1,M1), koncerty(K,B2,M2), not B1 = B2.
+_|_ :- koncerty(K,B1,M1), koncerty(K,B2,M2), not M1 = M2.
+vk(K,B) :- koncerty(K,B,_).
+vkk(K) :- koncerty(K,_,_).
+vm(K,M) :- koncerty(K,_,M).
++koncert(K,B) :- koncerty(K,B,M), not koncert(K,B).
++sal(K,M) :- koncerty(K,B,M), not sal(K,M).
+-koncert(K,B) :- koncert(K,B), vkk(K), not vk(K,B).
+-sal(K,M) :- sal(K,M), not vm(K,M).
+`,
+			ExpectedGet: `koncerty(K,B,M) :- koncert(K,B), sal(K,M).`,
+		},
+		{
+			ID: 31, Name: "purchaseview", Operators: "P,IJ", Constraints: "PK, FK, JD",
+			Source: "Q&A sites", WantLVGN: false, WantNR: true,
+			Program: `
+source purchases(oid:int, item:string, cid:int).
+source custs(cid:int, cname:string).
+view purchaseview(oid:int, item:string, cname:string).
+_|_ :- purchases(O,I1,C1), purchases(O,I2,C2), not I1 = I2.
+_|_ :- purchases(O,I1,C1), purchases(O,I2,C2), not C1 = C2.
+_|_ :- custs(C,N1), custs(C,N2), not N1 = N2.
+_|_ :- custs(C1,N), custs(C2,N), not C1 = C2.
+_|_ :- purchases(O,I,C), not custs(C,_).
+_|_ :- purchaseview(O,I1,N1), purchaseview(O,I2,N2), not I1 = I2.
+_|_ :- purchaseview(O,I1,N1), purchaseview(O,I2,N2), not N1 = N2.
+_|_ :- purchaseview(O,I,N), not custname(N).
+custname(N) :- custs(_,N).
++purchases(O,I,C) :- purchaseview(O,I,N), custs(C,N), not purchases(O,I,C).
+-purchases(O,I,C) :- purchases(O,I,C), custs(C,N), not purchaseview(O,I,N).
+`,
+			ExpectedGet: `purchaseview(O,I,N) :- purchases(O,I,C), custs(C,N).`,
+		},
+		{
+			ID: 32, Name: "vehicle_view", Operators: "P,IJ", Constraints: "PK, FK, JD",
+			Source: "Q&A sites", WantLVGN: false, WantNR: true,
+			Program: `
+source vehicles(vid:int, plate:string, oid:int).
+source owners(oid:int, oname:string).
+view vehicle_view(vid:int, plate:string, oname:string).
+_|_ :- vehicles(V,P1,O1), vehicles(V,P2,O2), not P1 = P2.
+_|_ :- vehicles(V,P1,O1), vehicles(V,P2,O2), not O1 = O2.
+_|_ :- owners(O,N1), owners(O,N2), not N1 = N2.
+_|_ :- owners(O1,N), owners(O2,N), not O1 = O2.
+_|_ :- vehicles(V,P,O), not owners(O,_).
+_|_ :- vehicle_view(V,P1,N1), vehicle_view(V,P2,N2), not P1 = P2.
+_|_ :- vehicle_view(V,P1,N1), vehicle_view(V,P2,N2), not N1 = N2.
+_|_ :- vehicle_view(V,P,N), not ownername(N).
+ownername(N) :- owners(_,N).
++vehicles(V,P,O) :- vehicle_view(V,P,N), owners(O,N), not vehicles(V,P,O).
+-vehicles(V,P,O) :- vehicles(V,P,O), owners(O,N), not vehicle_view(V,P,N).
+`,
+			ExpectedGet: `vehicle_view(V,P,N) :- vehicles(V,P,O), owners(O,N).`,
+		},
+	}
+}
+
+// Programs shared with the Figure 6 workloads.
+const (
+	// LuxuryItemsProgram is the selection view of Figure 6a.
+	LuxuryItemsProgram = `
+source items(iid:int, iname:string, price:int).
+view luxuryitems(iid:int, iname:string, price:int).
+_|_ :- luxuryitems(I,N,P), not P > 1000.
+m(I,N,P) :- items(I,N,P), P > 1000.
++items(I,N,P) :- luxuryitems(I,N,P), not items(I,N,P).
+-items(I,N,P) :- m(I,N,P), not luxuryitems(I,N,P).
+`
+
+	// OfficeInfoProgram is the projection view of Figure 6b.
+	OfficeInfoProgram = `
+source works(ename:string, office:string, phone:int).
+view officeinfo(ename:string, office:string).
+wo(E,O) :- works(E,O,_).
+-works(E,O,P) :- works(E,O,P), not officeinfo(E,O).
++works(E,O,P) :- officeinfo(E,O), not wo(E,O), P = 0.
+`
+
+	// OutstandingTaskProgram is the join (semijoin + projection) view of
+	// Figure 6c.
+	OutstandingTaskProgram = `
+source tasks(tid:int, tname:string, uid:int, done:int).
+source users(uid:int, uname:string).
+view outstanding_task(tid:int, tname:string, uid:int).
+_|_ :- outstanding_task(T,N,U), not users(U,_).
+_|_ :- outstanding_task(T,N,U), T < 0.
+t0(T,N,U) :- tasks(T,N,U,0).
++tasks(T,N,U,D) :- outstanding_task(T,N,U), not t0(T,N,U), D = 0.
+-tasks(T,N,U,D) :- tasks(T,N,U,D), D = 0, users(U,_), not outstanding_task(T,N,U).
+`
+
+	// VwBrandsProgram is the union view of Figure 6d.
+	VwBrandsProgram = `
+source brands1(bid:int, bname:string).
+source brands2(bid:int, bname:string).
+view vw_brands(bname:string).
+_|_ :- vw_brands(N), N = ''.
+n1(N) :- brands1(_,N).
+n2(N) :- brands2(_,N).
+-brands1(I,N) :- brands1(I,N), not vw_brands(N).
+-brands2(I,N) :- brands2(I,N), not vw_brands(N).
++brands1(I,N) :- vw_brands(N), not n1(N), not n2(N), I = 0.
+`
+)

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"birds/internal/datalog"
+	"birds/internal/eval"
+	"birds/internal/value"
+)
+
+// selectionSrc is Example 5.2 of the paper: a selection view with an
+// intermediate relation m.
+const selectionSrc = `
+source r(a:int, b:int).
+view v(a:int, b:int).
+_|_ :- v(X,Y), not Y > 2.
++r(X,Y) :- v(X,Y), not r(X,Y).
+m(X,Y) :- r(X,Y), Y > 2.
+-r(X,Y) :- m(X,Y), not v(X,Y).
+`
+
+func TestIncrementalizeLVGNExample52(t *testing.T) {
+	prog := mustProg(t, selectionSrc)
+	inc, err := IncrementalizeLVGN(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per the paper, ∂put is:
+	//   m(X,Y) :- r(X,Y), Y > 2.
+	//   +r(X,Y) :- +v(X,Y), not r(X,Y).
+	//   -r(X,Y) :- m(X,Y), -v(X,Y).
+	text := inc.String()
+	for _, want := range []string{
+		"+r(X, Y) :- +v(X, Y), not r(X, Y).",
+		"-r(X, Y) :- m(X, Y), -v(X, Y).",
+		"m(X, Y) :- r(X, Y), Y > 2.",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("∂put missing rule %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "_|_") {
+		t.Error("constraints should be dropped from ∂put")
+	}
+}
+
+func TestIncrementalizeLVGNRequiresLinearView(t *testing.T) {
+	prog := mustProg(t, `
+source r(a:int, b:int, c:int).
+view v(a:int, b:int).
++r(X,Y,Z) :- v(X,Y), v(Y,Z), not r(X,Y,Z).
+`)
+	if _, err := IncrementalizeLVGN(prog); err == nil {
+		t.Fatal("self-join on the view should be rejected")
+	}
+}
+
+func TestUnfoldInlinesIntermediate(t *testing.T) {
+	prog := mustProg(t, selectionSrc)
+	inc, err := Incrementalize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After unfolding, no delta rule references m, and m's definition is
+	// pruned because nothing else uses it.
+	for _, r := range inc.Rules {
+		if r.IsConstraint() {
+			continue
+		}
+		if r.Head.Pred == datalog.Pred("m") {
+			t.Errorf("m should have been pruned:\n%s", inc)
+		}
+		for _, l := range r.Body {
+			if l.Atom != nil && l.Atom.Pred == datalog.Pred("m") {
+				t.Errorf("m still referenced in %q", r)
+			}
+		}
+	}
+}
+
+func TestUnfoldKeepsNegatedAux(t *testing.T) {
+	prog := mustProg(t, `
+source r(a:int).
+source s(a:int).
+view v(a:int).
+both(X) :- r(X), s(X).
++r(X) :- v(X), not both(X).
+`)
+	inc := Unfold(prog)
+	// both is used under negation: it must survive with its definition.
+	found := false
+	for _, r := range inc.Rules {
+		if !r.IsConstraint() && r.Head.Pred == datalog.Pred("both") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("negated aux must be kept:\n%s", inc)
+	}
+}
+
+func TestUnfoldMultiRuleAux(t *testing.T) {
+	// An aux predicate with two rules: unfolding multiplies the delta rule.
+	prog := mustProg(t, `
+source r1(a:int).
+source r2(a:int).
+view v(a:int).
+u(X) :- r1(X).
+u(X) :- r2(X).
+-r1(X) :- u(X), not v(X).
+`)
+	inc := Unfold(prog)
+	deltaRules := inc.RulesFor(datalog.Del("r1"))
+	if len(deltaRules) != 2 {
+		t.Fatalf("want 2 unfolded delta rules, got %d:\n%s", len(deltaRules), inc)
+	}
+}
+
+func TestUnfoldHeadConstantsAndRepeats(t *testing.T) {
+	// Aux with constant and repeated head variables.
+	prog := mustProg(t, `
+source r(a:int, b:int).
+view v(a:int).
+tag(X,1) :- r(X,X).
+-r(X,Y) :- tag(X,Y), not v(X).
+`)
+	inc := Unfold(prog)
+	ev, err := eval.New(inc)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, inc)
+	}
+	evOrig, err := eval.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 80; trial++ {
+		db1, db2 := eval.NewDatabase(), eval.NewDatabase()
+		r := value.NewRelation(2)
+		for i := 0; i < rng.Intn(5); i++ {
+			r.Add(value.Tuple{value.Int(int64(rng.Intn(3))), value.Int(int64(rng.Intn(3)))})
+		}
+		vRel := value.NewRelation(1)
+		for i := 0; i < rng.Intn(3); i++ {
+			vRel.Add(value.Tuple{value.Int(int64(rng.Intn(3)))})
+		}
+		db1.Set(datalog.Pred("r"), r.Clone())
+		db1.Set(datalog.Pred("v"), vRel.Clone())
+		db2.Set(datalog.Pred("r"), r.Clone())
+		db2.Set(datalog.Pred("v"), vRel.Clone())
+		if err := ev.Eval(db1); err != nil {
+			t.Fatal(err)
+		}
+		if err := evOrig.Eval(db2); err != nil {
+			t.Fatal(err)
+		}
+		got := db1.RelOrEmpty(datalog.Del("r"), 2)
+		want := db2.RelOrEmpty(datalog.Del("r"), 2)
+		if !got.Equal(want) {
+			t.Fatalf("unfolded program disagrees: got %v want %v\nr=%v v=%v\n%s",
+				got, want, r, vRel, inc)
+		}
+	}
+}
+
+// The central equivalence of Section 5 (Proposition 5.1 / Lemma 5.2):
+// applying the full putback to the updated view equals applying ∂put to
+// the view delta, for random sources and random admissible deltas.
+func incrementalEquivalenceTrial(t *testing.T, src string, getRules []string, arity int, domain int, seed int64) {
+	t.Helper()
+	prog := mustProg(t, src)
+	pb, err := NewPutback(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Validate(pb, nil, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatalf("strategy should be valid: %v", res.Failure)
+	}
+	getEv, err := eval.New(GetProgram(prog, res.Get))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := Incrementalize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incEv, err := eval.New(inc)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, inc)
+	}
+
+	viewSym := datalog.Pred(prog.View.Name)
+	constraintOK := func(db *eval.Database) bool {
+		if err := pb.eval.Eval(db); err != nil {
+			return false
+		}
+		violated, err := pb.eval.Violations(db)
+		return err == nil && len(violated) == 0
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	randTuple := func(n int) value.Tuple {
+		tup := make(value.Tuple, n)
+		for i := range tup {
+			tup[i] = value.Int(int64(rng.Intn(domain)))
+		}
+		return tup
+	}
+	trials := 0
+	for attempt := 0; attempt < 400 && trials < 100; attempt++ {
+		// Random source database.
+		srcRels := make(map[string]*value.Relation)
+		for _, s := range prog.Sources {
+			r := value.NewRelation(s.Arity())
+			for i := 0; i < rng.Intn(6); i++ {
+				r.Add(randTuple(s.Arity()))
+			}
+			srcRels[s.Name] = r
+		}
+		base := eval.NewDatabase()
+		for name, r := range srcRels {
+			base.Set(datalog.Pred(name), r.Clone())
+		}
+		view, err := getEv.EvalQuery(base, viewSym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view = view.Clone()
+
+		// Random admissible delta: insertions not in V, deletions from V.
+		insV := value.NewRelation(arity)
+		delV := value.NewRelation(arity)
+		for i := 0; i < rng.Intn(3); i++ {
+			tup := randTuple(arity)
+			if !view.Contains(tup) {
+				insV.Add(tup)
+			}
+		}
+		for _, tup := range view.Tuples() {
+			if rng.Intn(4) == 0 {
+				delV.Add(tup)
+			}
+		}
+		newView := view.Clone()
+		newView.SubtractAll(delV)
+		newView.UnionWith(insV)
+
+		// Full path: putdelta over (S, V').
+		full := eval.NewDatabase()
+		for name, r := range srcRels {
+			full.Set(datalog.Pred(name), r.Clone())
+		}
+		full.Set(viewSym, newView.Clone())
+		if !constraintOK(full) {
+			continue // inadmissible update; both paths would reject it
+		}
+		trials++
+		if err := pb.Put(full); err != nil {
+			t.Fatal(err)
+		}
+
+		// Incremental path: ∂put over (S, +v, -v).
+		incDB := eval.NewDatabase()
+		for name, r := range srcRels {
+			incDB.Set(datalog.Pred(name), r.Clone())
+		}
+		incDB.Set(datalog.Ins(prog.View.Name), insV.Clone())
+		incDB.Set(datalog.Del(prog.View.Name), delV.Clone())
+		incDB.Set(viewSym, newView.Clone()) // for aux/constraint rules if any
+		if err := incEv.Eval(incDB); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := eval.ApplyDeltas(incDB, prog.Sources); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, s := range prog.Sources {
+			got := incDB.RelOrEmpty(datalog.Pred(s.Name), s.Arity())
+			want := full.RelOrEmpty(datalog.Pred(s.Name), s.Arity())
+			if !got.Equal(want) {
+				t.Fatalf("incremental path diverges on %s:\nfull=%v\ninc=%v\nΔ+V=%v Δ-V=%v V=%v\n∂put:\n%s",
+					s.Name, want, got, insV, delV, view, inc)
+			}
+		}
+	}
+	if trials < 20 {
+		t.Fatalf("too few admissible trials: %d", trials)
+	}
+}
+
+func TestIncrementalEquivalenceSelection(t *testing.T) {
+	incrementalEquivalenceTrial(t, selectionSrc, nil, 2, 5, 7)
+}
+
+func TestIncrementalEquivalenceUnion(t *testing.T) {
+	incrementalEquivalenceTrial(t, unionSrc, nil, 1, 6, 11)
+}
+
+func TestIncrementalEquivalenceDifference(t *testing.T) {
+	incrementalEquivalenceTrial(t, `
+source ed(e:int, d:int).
+source eed(e:int, d:int).
+view ced(e:int, d:int).
++ed(E,D) :- ced(E,D), not ed(E,D).
+-eed(E,D) :- ced(E,D), eed(E,D).
++eed(E,D) :- ed(E,D), not ced(E,D), not eed(E,D).
+`, nil, 2, 4, 13)
+}
+
+func TestIncrementalEquivalenceProjection(t *testing.T) {
+	incrementalEquivalenceTrial(t, `
+source r(a:int, b:int).
+view v(a:int, b:int).
++r(X,Y) :- v(X,Y), not r(X,Y).
+-r(X,Y) :- r(X,Y), not v(X,Y).
+`, nil, 2, 4, 19)
+}

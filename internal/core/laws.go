@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"birds/internal/datalog"
+	"birds/internal/eval"
+	"birds/internal/value"
+)
+
+// LawsConfig bounds the randomized round-trip law check.
+type LawsConfig struct {
+	Trials    int   // random instances per law (default 200)
+	MaxTuples int   // tuples per relation (default 4)
+	Seed      int64 // PRNG seed (default 1)
+}
+
+// LawViolation is a concrete counterexample to GetPut or PutGet.
+type LawViolation struct {
+	Law      string // "GetPut" or "PutGet"
+	Detail   string
+	Instance *eval.Database
+}
+
+func (v *LawViolation) Error() string {
+	return fmt.Sprintf("core: %s violated: %s", v.Law, v.Detail)
+}
+
+// CheckLaws replays the two round-tripping laws of §2.2 on random
+// instances: GetPut (put(S, get(S)) = S) over random sources, and PutGet
+// (get(put(S, V')) = V') over random sources and random admissible updated
+// views. It complements Validate: where Validate searches adversarially
+// for tiny counterexamples, CheckLaws exercises larger random instances —
+// the property-based-testing angle on the same laws. It returns nil when
+// no violation is found within the trial budget.
+func CheckLaws(pb *Putback, getRules []*datalog.Rule, cfg LawsConfig) error {
+	if cfg.Trials == 0 {
+		cfg.Trials = 200
+	}
+	if cfg.MaxTuples == 0 {
+		cfg.MaxTuples = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	getEv, err := eval.New(GetProgram(pb.Prog, getRules))
+	if err != nil {
+		return fmt.Errorf("core: get program does not compile: %w", err)
+	}
+	viewSym := datalog.Pred(pb.Prog.View.Name)
+	arity := pb.Prog.View.Arity()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pools := lawPools(pb.Prog)
+
+	randomRel := func(types []string, n int) *value.Relation {
+		rel := value.NewRelation(len(types))
+		for i := 0; i < n; i++ {
+			tu := make(value.Tuple, len(types))
+			for j, ty := range types {
+				pool := pools[poolKind(ty)]
+				tu[j] = pool[rng.Intn(len(pool))]
+			}
+			rel.Add(tu)
+		}
+		return rel
+	}
+	randomSources := func() map[string]*value.Relation {
+		out := make(map[string]*value.Relation)
+		for _, s := range pb.Prog.Sources {
+			types := make([]string, s.Arity())
+			for i, a := range s.Attrs {
+				types[i] = a.Type
+			}
+			out[s.Name] = randomRel(types, rng.Intn(cfg.MaxTuples+1))
+		}
+		return out
+	}
+	load := func(srcs map[string]*value.Relation) *eval.Database {
+		db := eval.NewDatabase()
+		for name, rel := range srcs {
+			db.Set(datalog.Pred(name), rel.Clone())
+		}
+		return db
+	}
+	admissible := func(db *eval.Database) bool {
+		if err := pb.eval.Eval(db); err != nil {
+			return false
+		}
+		violated, err := pb.eval.Violations(db)
+		return err == nil && len(violated) == 0
+	}
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		srcs := randomSources()
+
+		// GetPut: put(S, get(S)) must not change S. Sources on which the
+		// computed view violates Σ are outside the contract.
+		db := load(srcs)
+		view, err := getEv.EvalQuery(db, viewSym)
+		if err != nil {
+			return err
+		}
+		view = view.Clone()
+		db.Set(viewSym, view.Clone())
+		if admissible(db) {
+			snap := eval.SnapshotSources(db, pb.Prog.Sources)
+			if _, _, err := eval.ApplyDeltas(db, pb.Prog.Sources); err != nil {
+				return &LawViolation{Law: "GetPut", Detail: err.Error(), Instance: db}
+			}
+			if !eval.SourcesEqual(db, pb.Prog.Sources, snap) {
+				return &LawViolation{
+					Law:      "GetPut",
+					Detail:   "put(S, get(S)) changed the source database",
+					Instance: db,
+				}
+			}
+		}
+
+		// PutGet: for a random admissible V', get(put(S, V')) = V'.
+		db2 := load(srcs)
+		viewTypes := make([]string, arity)
+		for i, a := range pb.Prog.View.Attrs {
+			viewTypes[i] = a.Type
+		}
+		updated := randomRel(viewTypes, rng.Intn(cfg.MaxTuples+1))
+		db2.Set(viewSym, updated.Clone())
+		if !admissible(db2) {
+			continue // inadmissible update: the strategy may reject it
+		}
+		if _, _, err := eval.ApplyDeltas(db2, pb.Prog.Sources); err != nil {
+			return &LawViolation{Law: "PutGet", Detail: err.Error(), Instance: db2}
+		}
+		got, err := getEv.EvalQuery(db2, viewSym)
+		if err != nil {
+			return err
+		}
+		if !got.Equal(updated) {
+			return &LawViolation{
+				Law:      "PutGet",
+				Detail:   fmt.Sprintf("get(put(S, V')) = %s but V' = %s", got, updated),
+				Instance: db2,
+			}
+		}
+	}
+	return nil
+}
+
+func poolKind(ty string) string {
+	switch ty {
+	case "int", "integer":
+		return "int"
+	case "float", "real":
+		return "float"
+	case "bool", "boolean":
+		return "bool"
+	default:
+		return "string"
+	}
+}
+
+// lawPools builds per-type value pools around the program's constants,
+// reusing the gap-value construction of the satisfiability oracle via a
+// tiny sample of extra values.
+func lawPools(progs ...*datalog.Program) map[string][]value.Value {
+	consts := programConstants(progs...)
+	out := map[string][]value.Value{
+		"int":    {value.Int(0), value.Int(1), value.Int(2), value.Int(3)},
+		"float":  {value.Float(0), value.Float(1.5)},
+		"string": {value.Str("a"), value.Str("b"), value.Str("c")},
+		"bool":   {value.Bool(false), value.Bool(true)},
+	}
+	for _, c := range consts {
+		k := ""
+		switch c.Kind() {
+		case value.KindInt:
+			k = "int"
+			out[k] = append(out[k], value.Int(c.AsInt()-1), c, value.Int(c.AsInt()+1))
+		case value.KindFloat:
+			k = "float"
+			out[k] = append(out[k], c)
+		case value.KindString:
+			k = "string"
+			out[k] = append(out[k], c, value.Str(c.AsString()+"0"))
+		case value.KindBool:
+			// both already present
+		}
+	}
+	return out
+}

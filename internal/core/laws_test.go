@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckLawsAcceptsValidStrategies(t *testing.T) {
+	cases := []struct {
+		name, src string
+		get       []string
+	}{
+		{"union", unionSrc, []string{"v(X) :- r1(X).", "v(X) :- r2(X)."}},
+		{"selection", selectionSrc, []string{"v(X,Y) :- r(X,Y), Y > 2."}},
+		{"difference", `
+source ed(e:int, d:int).
+source eed(e:int, d:int).
+view ced(e:int, d:int).
++ed(E,D) :- ced(E,D), not ed(E,D).
+-eed(E,D) :- ced(E,D), eed(E,D).
++eed(E,D) :- ed(E,D), not ced(E,D), not eed(E,D).
+`, []string{"ced(E,D) :- ed(E,D), not eed(E,D)."}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pb := mustPutback(t, c.src)
+			get := mustRules(t, c.get...)
+			if err := CheckLaws(pb, get, LawsConfig{Trials: 300}); err != nil {
+				t.Fatalf("valid strategy rejected: %v", err)
+			}
+		})
+	}
+}
+
+func TestCheckLawsCatchesGetPutViolation(t *testing.T) {
+	// Deletion rule fires even on view members: put(S, get(S)) ≠ S.
+	pb := mustPutback(t, `
+source r(a:int).
+view v(a:int).
+-r(X) :- r(X), v(X).
++r(X) :- v(X), not r(X).
+`)
+	get := mustRules(t, "v(X) :- r(X).")
+	err := CheckLaws(pb, get, LawsConfig{Trials: 300})
+	if err == nil {
+		t.Fatal("GetPut violation not caught")
+	}
+	lv, ok := err.(*LawViolation)
+	if !ok {
+		t.Fatalf("want LawViolation, got %T: %v", err, err)
+	}
+	// Either law may trip first depending on the instance order; the
+	// violation must carry a witness instance.
+	if lv.Instance == nil {
+		t.Error("violation should carry the witness instance")
+	}
+	if !strings.Contains(lv.Error(), "violated") {
+		t.Errorf("error text: %v", lv)
+	}
+}
+
+func TestCheckLawsCatchesPutGetViolation(t *testing.T) {
+	// Insertions are silently dropped for odd values: get(put(S,V')) ≠ V'.
+	pb := mustPutback(t, `
+source r(a:int).
+view v(a:int).
++r(X) :- v(X), X > 1, not r(X).
+-r(X) :- r(X), not v(X).
+`)
+	get := mustRules(t, "v(X) :- r(X).")
+	err := CheckLaws(pb, get, LawsConfig{Trials: 300})
+	lv, ok := err.(*LawViolation)
+	if !ok {
+		t.Fatalf("PutGet violation not caught: %v", err)
+	}
+	if lv.Law != "PutGet" && lv.Law != "GetPut" {
+		t.Errorf("law = %q", lv.Law)
+	}
+}
+
+func TestCheckLawsWrongGetRejected(t *testing.T) {
+	pb := mustPutback(t, unionSrc)
+	wrong := mustRules(t, "v(X) :- r1(X), r2(X).") // intersection, not union
+	if err := CheckLaws(pb, wrong, LawsConfig{Trials: 300}); err == nil {
+		t.Fatal("wrong get should violate a law")
+	}
+}
+
+func TestCheckLawsBadGetProgram(t *testing.T) {
+	pb := mustPutback(t, unionSrc)
+	bad := mustRules(t, "v(X) :- w(Y).") // unsafe
+	if err := CheckLaws(pb, bad, LawsConfig{}); err == nil {
+		t.Fatal("uncompilable get must error")
+	}
+}
+
+func TestCheckLawsRespectsConstraints(t *testing.T) {
+	// The residents1962-style selection is lawful only because
+	// out-of-range updates are inadmissible; CheckLaws must respect Σ.
+	pb := mustPutback(t, `
+source r(a:int).
+view v(a:int).
+_|_ :- v(X), not X > 2.
++r(X) :- v(X), not r(X).
+-r(X) :- r(X), X > 2, not v(X).
+`)
+	get := mustRules(t, "v(X) :- r(X), X > 2.")
+	if err := CheckLaws(pb, get, LawsConfig{Trials: 400}); err != nil {
+		t.Fatalf("constrained strategy should satisfy the laws: %v", err)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"birds/internal/datalog"
+)
+
+// NewSourceSym returns the predicate for the post-update state of a source
+// relation (the r_new of §4.4).
+func NewSourceSym(name string) datalog.PredSym { return datalog.Pred("new_" + name) }
+
+// NewViewSym returns the predicate for the recomputed view over the updated
+// sources (the v_new of §4.4).
+func NewViewSym(view string) datalog.PredSym { return datalog.Pred("new_" + view) }
+
+// ComposePutGet builds the putget program of §4.4: the putback program,
+// rules deriving each updated source
+//
+//	new_ri(X) :- ri(X), not -ri(X).
+//	new_ri(X) :- +ri(X).
+//
+// and the get rules rewritten over the updated sources, so that new_v
+// computes get(put(S, V)) over the database (S, V).
+func ComposePutGet(putdelta *datalog.Program, getRules []*datalog.Rule) (*datalog.Program, error) {
+	out := &datalog.Program{Sources: putdelta.Sources, View: putdelta.View}
+	used := make(map[string]bool)
+	for _, r := range putdelta.Rules {
+		if r.IsConstraint() {
+			continue // constraints restrict admissible updates; they are checked separately
+		}
+		out.Rules = append(out.Rules, r.Clone())
+		used[r.Head.Pred.Name] = true
+	}
+
+	// Updated-source rules.
+	for _, s := range putdelta.Sources {
+		if used["new_"+s.Name] {
+			return nil, fmt.Errorf("core: predicate name new_%s collides with a program predicate", s.Name)
+		}
+		args := make([]datalog.Term, s.Arity())
+		for i := range args {
+			args[i] = datalog.V(fmt.Sprintf("X%d", i+1))
+		}
+		head := datalog.NewAtom(NewSourceSym(s.Name), args...)
+		out.Rules = append(out.Rules,
+			datalog.NewRule(head.Clone(),
+				datalog.Pos(datalog.NewAtom(datalog.Pred(s.Name), args...)),
+				datalog.Negated(datalog.NewAtom(datalog.Del(s.Name), args...))),
+			datalog.NewRule(head.Clone(),
+				datalog.Pos(datalog.NewAtom(datalog.Ins(s.Name), args...))),
+		)
+	}
+
+	// Get rules over the updated sources: rename the view head and every
+	// source or auxiliary predicate into the new_ namespace; builtin
+	// literals and constants pass through.
+	renames := make(map[string]string)
+	renames[putdelta.View.Name] = NewViewSym(putdelta.View.Name).Name
+	for _, s := range putdelta.Sources {
+		renames[s.Name] = NewSourceSym(s.Name).Name
+	}
+	getIDB := make(map[string]bool)
+	for _, r := range getRules {
+		if r.IsConstraint() {
+			return nil, fmt.Errorf("core: get program must not contain constraints")
+		}
+		getIDB[r.Head.Pred.Name] = true
+	}
+	for name := range getIDB {
+		if _, ok := renames[name]; !ok {
+			renames[name] = "new_" + name
+		}
+	}
+	for name, renamed := range renames {
+		_ = name
+		if used[renamed] {
+			return nil, fmt.Errorf("core: predicate name %s collides with a program predicate", renamed)
+		}
+	}
+	renameAtom := func(a *datalog.Atom) *datalog.Atom {
+		c := a.Clone()
+		if n, ok := renames[c.Pred.Name]; ok {
+			c.Pred = datalog.PredSym{Name: n, Delta: c.Pred.Delta}
+		}
+		return c
+	}
+	for _, r := range getRules {
+		if r.Head.Pred.IsDelta() {
+			return nil, fmt.Errorf("core: get rule %q must not define a delta relation", r)
+		}
+		nr := &datalog.Rule{Head: renameAtom(r.Head)}
+		for _, l := range r.Body {
+			nl := l.Clone()
+			if nl.Atom != nil {
+				nl.Atom = renameAtom(nl.Atom)
+			}
+			nr.Body = append(nr.Body, nl)
+		}
+		out.Rules = append(out.Rules, nr)
+	}
+	return out, nil
+}

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"birds/internal/analysis"
+	"birds/internal/datalog"
+	"birds/internal/eval"
+	"birds/internal/fol"
+	"birds/internal/sat"
+	"birds/internal/value"
+)
+
+// Options configures validation.
+type Options struct {
+	Oracle sat.Config
+}
+
+// DefaultOptions returns the default validation configuration.
+func DefaultOptions() Options { return Options{Oracle: sat.DefaultConfig()} }
+
+// Pass names the validation passes of Algorithm 1 (Figure 4).
+type Pass string
+
+// The three passes of Algorithm 1, plus the get-derivation sub-pass.
+const (
+	PassWellDefined   Pass = "well-definedness"
+	PassGetPut        Pass = "getput"
+	PassGetDerivation Pass = "get-derivation"
+	PassPutGet        Pass = "putget"
+)
+
+// Failure describes why a putback program was rejected, with the witness
+// instance when one was found.
+type Failure struct {
+	Pass    Pass
+	Detail  string
+	Witness *eval.Database
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("core: %s check failed: %s", f.Pass, f.Detail)
+}
+
+// Result is the outcome of Validate.
+type Result struct {
+	Valid        bool
+	Failure      *Failure
+	Get          []*datalog.Rule    // the view definition that certifies validity
+	UsedExpected bool               // Get came from expected_get rather than derivation
+	Class        analysis.Class     // language-fragment classification
+	Decomp       *fol.Decomposition // φ1/φ2/φ3 when get was derived
+	Elapsed      time.Duration
+	Bounded      bool // acceptance relies on the bounded oracle (always true here)
+}
+
+// Validate runs Algorithm 1 on a putback program: (1) well-definedness,
+// (2) existence of a view definition satisfying GetPut — using expectedGet
+// if provided, otherwise deriving get from the φ2 of Lemma 4.2 — and
+// (3) the PutGet property. expectedGet, when non-nil, is a set of rules
+// defining the view predicate from the sources.
+func Validate(pb *Putback, expectedGet []*datalog.Rule, opts Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{Class: pb.Class, Bounded: true}
+	oracle := sat.New(opts.Oracle)
+	v := newValidator(pb, oracle)
+
+	fail := func(f *Failure) (*Result, error) {
+		res.Failure = f
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// Pass 1: well-definedness (§4.2).
+	if f := v.checkWellDefined(); f != nil {
+		return fail(f)
+	}
+
+	// Pass 2: a view definition satisfying GetPut (§4.3).
+	var expectedFailure *Failure
+	if expectedGet != nil {
+		if f := v.checkGetPut(expectedGet); f == nil {
+			res.Get = expectedGet
+			res.UsedExpected = true
+		} else {
+			// Per Algorithm 1, a failing expected_get falls through to
+			// derivation rather than rejecting outright.
+			expectedFailure = f
+		}
+	}
+	if res.Get == nil {
+		get, decomp, f := v.deriveGet()
+		if f != nil {
+			if expectedFailure != nil {
+				// Derivation could not repair the failing expected get;
+				// the GetPut counterexample is the more useful report.
+				expectedFailure.Detail = fmt.Sprintf(
+					"expected get does not satisfy GetPut (%s); derivation also failed: %s",
+					expectedFailure.Detail, f.Detail)
+				return fail(expectedFailure)
+			}
+			return fail(f)
+		}
+		res.Get = get
+		res.Decomp = decomp
+		// The derived get satisfies GetPut by construction; replay the
+		// check as a safeguard against oracle blind spots.
+		if f := v.checkGetPut(get); f != nil {
+			f.Detail = "derived get does not satisfy GetPut: " + f.Detail
+			return fail(f)
+		}
+	}
+
+	// Pass 3: PutGet (§4.4).
+	if f := v.checkPutGet(res.Get); f != nil {
+		return fail(f)
+	}
+
+	res.Valid = true
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// validator carries the shared state of one validation run.
+type validator struct {
+	pb       *Putback
+	oracle   *sat.Oracle
+	unfolder *fol.Unfolder
+	consts   []value.Value
+	srcSpecs []sat.RelSpec
+	allSpecs []sat.RelSpec // sources + view
+}
+
+func newValidator(pb *Putback, oracle *sat.Oracle) *validator {
+	v := &validator{
+		pb:       pb,
+		oracle:   oracle,
+		unfolder: fol.NewUnfolder(pb.Prog),
+		srcSpecs: sat.SpecsFromDecls(pb.Prog.Sources...),
+	}
+	v.allSpecs = append(append([]sat.RelSpec{}, v.srcSpecs...),
+		sat.SpecsFromDecls(pb.Prog.View)...)
+	v.consts = programConstants(pb.Prog)
+	return v
+}
+
+// programConstants collects every constant of a program's rules.
+func programConstants(progs ...*datalog.Program) []value.Value {
+	var out []value.Value
+	seen := make(map[string]bool)
+	add := func(t datalog.Term) {
+		if t.IsConst() && !seen[t.Const.String()] {
+			seen[t.Const.String()] = true
+			out = append(out, t.Const)
+		}
+	}
+	for _, p := range progs {
+		for _, r := range p.Rules {
+			if r.Head != nil {
+				for _, t := range r.Head.Args {
+					add(t)
+				}
+			}
+			for _, l := range r.Body {
+				if l.Atom != nil {
+					for _, t := range l.Atom.Args {
+						add(t)
+					}
+				} else {
+					add(l.Builtin.L)
+					add(l.Builtin.R)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// constraintsHold evaluates the program's integrity constraints over db
+// (IDB relations must be evaluated already).
+func (v *validator) constraintsHold(db *eval.Database) bool {
+	violated, err := v.pb.eval.Violations(db)
+	return err == nil && len(violated) == 0
+}
+
+// checkWellDefined searches for an instance (S, V) satisfying Σ on which
+// some +ri and -ri share a tuple — the di predicates of rules (2) in §4.2.
+func (v *validator) checkWellDefined() *Failure {
+	for _, s := range v.pb.Prog.Sources {
+		ins, del := datalog.Ins(s.Name), datalog.Del(s.Name)
+		if len(v.pb.Prog.RulesFor(ins)) == 0 || len(v.pb.Prog.RulesFor(del)) == 0 {
+			continue // d_i is trivially unsatisfiable
+		}
+		args := fol.QueryVars(s.Arity())
+		guide := fol.NewAnd(v.unfolder.Pred(ins, args), v.unfolder.Pred(del, args))
+		name := s.Name
+		witness := v.oracle.Find(sat.Problem{
+			Rels:        v.allSpecs,
+			ExtraConsts: v.consts,
+			Guide:       guide,
+			Test: func(db *eval.Database) bool {
+				if err := v.pb.eval.Eval(db); err != nil {
+					return false
+				}
+				if !v.constraintsHold(db) {
+					return false
+				}
+				insRel := db.RelOrEmpty(datalog.Ins(name), 0)
+				delRel := db.RelOrEmpty(datalog.Del(name), 0)
+				if insRel.Empty() || delRel.Empty() {
+					return false
+				}
+				return !insRel.Intersect(delRel).Empty()
+			},
+		})
+		if witness != nil {
+			return &Failure{
+				Pass:    PassWellDefined,
+				Detail:  fmt.Sprintf("the program derives both +%s(t) and -%s(t) for the same tuple (contradictory ΔS)", s.Name, s.Name),
+				Witness: witness,
+			}
+		}
+	}
+	return nil
+}
+
+// checkGetPut verifies that with the view defined by getRules, the putback
+// program produces an empty ΔS on every source database satisfying Σ —
+// i.e. put(S, get(S)) = S. It returns a Failure with a witness if GetPut
+// does not hold.
+func (v *validator) checkGetPut(getRules []*datalog.Rule) *Failure {
+	combined := &datalog.Program{Sources: v.pb.Prog.Sources, View: v.pb.Prog.View}
+	combined.Rules = append(combined.Rules, getRules...)
+	combined.Rules = append(combined.Rules, v.pb.Prog.Rules...)
+	ev, err := eval.New(combined)
+	if err != nil {
+		return &Failure{Pass: PassGetPut, Detail: fmt.Sprintf("cannot compose get with putdelta: %v", err)}
+	}
+
+	u := fol.NewUnfolder(combined)
+	var disjuncts []fol.Formula
+	var deltaSyms []datalog.PredSym
+	for _, s := range v.pb.Prog.Sources {
+		for _, d := range []datalog.PredSym{datalog.Ins(s.Name), datalog.Del(s.Name)} {
+			if len(v.pb.Prog.RulesFor(d)) == 0 {
+				continue
+			}
+			deltaSyms = append(deltaSyms, d)
+			disjuncts = append(disjuncts, u.Pred(d, fol.QueryVars(s.Arity())))
+		}
+	}
+	if len(deltaSyms) == 0 {
+		return nil // no delta rules at all: put is the identity
+	}
+	witness := v.oracle.Find(sat.Problem{
+		Rels:        v.srcSpecs,
+		ExtraConsts: programConstants(v.pb.Prog, &datalog.Program{Rules: getRules}),
+		Guide:       fol.NewOr(disjuncts...),
+		Test: func(db *eval.Database) bool {
+			if err := ev.Eval(db); err != nil {
+				return false
+			}
+			if violated, err := ev.Violations(db); err != nil || len(violated) > 0 {
+				return false
+			}
+			for _, d := range deltaSyms {
+				if rel := db.Rel(d); rel != nil && !rel.Empty() {
+					return true
+				}
+			}
+			return false
+		},
+	})
+	if witness != nil {
+		return &Failure{
+			Pass:    PassGetPut,
+			Detail:  "put(S, get(S)) changes the source for some S (GetPut violated)",
+			Witness: witness,
+		}
+	}
+	return nil
+}
+
+// deriveGet constructs a view definition satisfying GetPut per §4.3: build
+// the steady-state sentences, decompose them into φ1/φ2/φ3 (Lemma 4.2),
+// check that φ3 and ∃Y, φ1 ∧ φ2 are unsatisfiable, and translate φ2 to a
+// Datalog query (Appendix B).
+func (v *validator) deriveGet() ([]*datalog.Rule, *fol.Decomposition, *Failure) {
+	var sentences []fol.Formula
+	for _, s := range v.pb.Prog.Sources {
+		args := fol.QueryVars(s.Arity())
+		srcAtom := &fol.Atom{Pred: s.Name, Args: args}
+		if len(v.pb.Prog.RulesFor(datalog.Del(s.Name))) > 0 {
+			sentences = append(sentences, fol.NewAnd(v.unfolder.Pred(datalog.Del(s.Name), args), srcAtom))
+		}
+		if len(v.pb.Prog.RulesFor(datalog.Ins(s.Name))) > 0 {
+			sentences = append(sentences, fol.NewAnd(v.unfolder.Pred(datalog.Ins(s.Name), args), fol.NewNot(srcAtom)))
+		}
+	}
+	// Constraints mentioning the view participate in the decomposition;
+	// view-free constraints are preconditions on S, not obligations.
+	viewName := v.pb.Prog.View.Name
+	for _, c := range v.pb.Prog.Constraints() {
+		if constraintMentionsView(c, viewName) {
+			sentences = append(sentences, v.unfolder.ConstraintSentence(c))
+		}
+	}
+
+	decomp, err := fol.Decompose(sentences, viewName, v.pb.Prog.View.Arity())
+	if err != nil {
+		return nil, nil, &Failure{Pass: PassGetDerivation, Detail: err.Error()}
+	}
+
+	// φ3 must be unsatisfiable over source databases satisfying the
+	// source-only constraints.
+	for _, phi3 := range decomp.Phi3 {
+		if w := v.findSourceModel(phi3); w != nil {
+			return nil, decomp, &Failure{
+				Pass:    PassGetDerivation,
+				Detail:  "no steady-state view exists: the view-free condition φ3 is satisfiable, so some source database admits no consistent view",
+				Witness: w,
+			}
+		}
+	}
+	// ∃Y, φ1 ∧ φ2 must be unsatisfiable.
+	conj := fol.NewAnd(decomp.Phi1, decomp.Phi2)
+	if t, isTruth := conj.(fol.Truth); !isTruth || t.B {
+		if w := v.findSourceModel(conj); w != nil {
+			return nil, decomp, &Failure{
+				Pass:    PassGetDerivation,
+				Detail:  "no steady-state view exists: the lower bound φ2 exceeds the upper bound ¬φ1 (∃Y, φ1 ∧ φ2 is satisfiable)",
+				Witness: w,
+			}
+		}
+	}
+
+	getRules, err := fol.ToDatalog(decomp.Phi2, decomp.ViewVars, viewName)
+	if err != nil {
+		return nil, decomp, &Failure{
+			Pass:   PassGetDerivation,
+			Detail: fmt.Sprintf("φ2 is not expressible as a Datalog view definition: %v", err),
+		}
+	}
+	return getRules, decomp, nil
+}
+
+// findSourceModel searches for a source database satisfying the view-free
+// constraints on which sentence holds.
+func (v *validator) findSourceModel(sentence fol.Formula) *eval.Database {
+	srcCons := v.sourceOnlyConstraintSentences()
+	consts := append([]value.Value{}, v.consts...)
+	for _, c := range fol.Constants(sentence) {
+		consts = append(consts, c.Const)
+	}
+	return v.oracle.Find(sat.Problem{
+		Rels:        v.srcSpecs,
+		ExtraConsts: consts,
+		Guide:       sentence,
+		Test: func(db *eval.Database) bool {
+			m := fol.NewModel(db, consts...)
+			for _, pc := range srcCons {
+				if m.Sat(pc) {
+					return false // violates a source precondition
+				}
+			}
+			return m.Sat(sentence)
+		},
+	})
+}
+
+func (v *validator) sourceOnlyConstraintSentences() []fol.Formula {
+	var out []fol.Formula
+	for _, c := range v.pb.Prog.Constraints() {
+		if !constraintMentionsView(c, v.pb.Prog.View.Name) {
+			out = append(out, v.unfolder.ConstraintSentence(c))
+		}
+	}
+	return out
+}
+
+func constraintMentionsView(c *datalog.Rule, view string) bool {
+	for _, l := range c.Body {
+		if l.Atom != nil && l.Atom.Pred == datalog.Pred(view) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPutGet verifies get(put(S, V)) = V for all (S, V) satisfying Σ, by
+// composing the putget program of §4.4 and searching for an instance where
+// new_v differs from v (the sentences Φ1 and Φ2 of (9) and (10)).
+func (v *validator) checkPutGet(getRules []*datalog.Rule) *Failure {
+	putget, err := ComposePutGet(v.pb.Prog, getRules)
+	if err != nil {
+		return &Failure{Pass: PassPutGet, Detail: err.Error()}
+	}
+	ev, err := eval.New(putget)
+	if err != nil {
+		return &Failure{Pass: PassPutGet, Detail: fmt.Sprintf("putget program does not compile: %v", err)}
+	}
+	viewSym := datalog.Pred(v.pb.Prog.View.Name)
+	newView := NewViewSym(v.pb.Prog.View.Name)
+	arity := v.pb.Prog.View.Arity()
+
+	u := fol.NewUnfolder(putget)
+	y := fol.QueryVars(arity)
+	vAtom := &fol.Atom{Pred: viewSym.Name, Args: y}
+	newF := u.Pred(newView, y)
+	guide := fol.NewOr(
+		fol.NewAnd(newF, fol.NewNot(vAtom)), // Φ1
+		fol.NewAnd(vAtom, fol.NewNot(newF)), // Φ2
+	)
+
+	witness := v.oracle.Find(sat.Problem{
+		Rels:        v.allSpecs,
+		ExtraConsts: programConstants(putget),
+		Guide:       guide,
+		Test: func(db *eval.Database) bool {
+			// The updated view must satisfy Σ to be an admissible update.
+			if err := v.pb.eval.Eval(db); err != nil {
+				return false
+			}
+			if !v.constraintsHold(db) {
+				return false
+			}
+			if err := ev.Eval(db); err != nil {
+				return false
+			}
+			got := db.RelOrEmpty(newView, arity)
+			want := db.RelOrEmpty(viewSym, arity)
+			return !got.Equal(want)
+		},
+	})
+	if witness != nil {
+		return &Failure{
+			Pass:    PassPutGet,
+			Detail:  "get(put(S, V)) ≠ V for some admissible (S, V) (PutGet violated)",
+			Witness: witness,
+		}
+	}
+	return nil
+}

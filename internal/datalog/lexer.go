@@ -1,0 +1,297 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF     tokKind = iota
+	tokIdent           // lowercase-initial identifier: predicate / type / keyword
+	tokVar             // uppercase-initial identifier: variable
+	tokAnon            // _
+	tokNumber          // 42, -7, 1.5
+	tokString          // 'abc'
+	tokLParen          // (
+	tokRParen          // )
+	tokComma           // ,
+	tokDot             // .
+	tokColon           // :
+	tokImplies         // :-
+	tokPlus            // +
+	tokMinus           // -
+	tokEq              // =
+	tokNe              // <> or != or ≠
+	tokLt              // <
+	tokGt              // >
+	tokLe              // <=
+	tokGe              // >=
+	tokBottom          // _|_ or ⊥ or the keyword false
+	tokNot             // not or ¬ or !
+)
+
+func (k tokKind) String() string {
+	names := map[tokKind]string{
+		tokEOF: "end of input", tokIdent: "identifier", tokVar: "variable",
+		tokAnon: "_", tokNumber: "number", tokString: "string",
+		tokLParen: "(", tokRParen: ")", tokComma: ",", tokDot: ".",
+		tokColon: ":", tokImplies: ":-", tokPlus: "+", tokMinus: "-",
+		tokEq: "=", tokNe: "<>", tokLt: "<", tokGt: ">", tokLe: "<=",
+		tokGe: ">=", tokBottom: "_|_", tokNot: "not",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// lexer splits Datalog source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// SyntaxError is a parse or lex error with position information.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("datalog: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekRune() (rune, int) {
+	if l.pos >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.pos:])
+}
+
+func (l *lexer) advance(r rune, size int) {
+	l.pos += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		r, size := l.peekRune()
+		if size == 0 {
+			return
+		}
+		if unicode.IsSpace(r) {
+			l.advance(r, size)
+			continue
+		}
+		if r == '%' {
+			for {
+				r, size = l.peekRune()
+				if size == 0 || r == '\n' {
+					break
+				}
+				l.advance(r, size)
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	mk := func(k tokKind, text string) token { return token{kind: k, text: text, line: line, col: col} }
+
+	r, size := l.peekRune()
+	if size == 0 {
+		return mk(tokEOF, ""), nil
+	}
+
+	switch r {
+	case '(':
+		l.advance(r, size)
+		return mk(tokLParen, "("), nil
+	case ')':
+		l.advance(r, size)
+		return mk(tokRParen, ")"), nil
+	case ',':
+		l.advance(r, size)
+		return mk(tokComma, ","), nil
+	case '+':
+		l.advance(r, size)
+		return mk(tokPlus, "+"), nil
+	case '-':
+		l.advance(r, size)
+		return mk(tokMinus, "-"), nil
+	case '=':
+		l.advance(r, size)
+		return mk(tokEq, "="), nil
+	case '¬': // ¬
+		l.advance(r, size)
+		return mk(tokNot, "¬"), nil
+	case '⊥': // ⊥
+		l.advance(r, size)
+		return mk(tokBottom, "⊥"), nil
+	case '≠': // ≠
+		l.advance(r, size)
+		return mk(tokNe, "≠"), nil
+	case '!':
+		l.advance(r, size)
+		if r2, s2 := l.peekRune(); r2 == '=' {
+			l.advance(r2, s2)
+			return mk(tokNe, "!="), nil
+		}
+		return mk(tokNot, "!"), nil
+	case '<':
+		l.advance(r, size)
+		if r2, s2 := l.peekRune(); r2 == '>' {
+			l.advance(r2, s2)
+			return mk(tokNe, "<>"), nil
+		} else if r2 == '=' {
+			l.advance(r2, s2)
+			return mk(tokLe, "<="), nil
+		}
+		return mk(tokLt, "<"), nil
+	case '>':
+		l.advance(r, size)
+		if r2, s2 := l.peekRune(); r2 == '=' {
+			l.advance(r2, s2)
+			return mk(tokGe, ">="), nil
+		}
+		return mk(tokGt, ">"), nil
+	case ':':
+		l.advance(r, size)
+		if r2, s2 := l.peekRune(); r2 == '-' {
+			l.advance(r2, s2)
+			return mk(tokImplies, ":-"), nil
+		}
+		return mk(tokColon, ":"), nil
+	case '.':
+		l.advance(r, size)
+		return mk(tokDot, "."), nil
+	case '\'':
+		l.advance(r, size)
+		var b strings.Builder
+		for {
+			r2, s2 := l.peekRune()
+			if s2 == 0 {
+				return token{}, l.errorf("unterminated string literal")
+			}
+			l.advance(r2, s2)
+			if r2 == '\'' {
+				// '' is an escaped quote.
+				if r3, s3 := l.peekRune(); r3 == '\'' {
+					l.advance(r3, s3)
+					b.WriteByte('\'')
+					continue
+				}
+				return mk(tokString, b.String()), nil
+			}
+			b.WriteRune(r2)
+		}
+	}
+
+	if unicode.IsDigit(r) {
+		start := l.pos
+		sawDot := false
+		for {
+			r2, s2 := l.peekRune()
+			if unicode.IsDigit(r2) {
+				l.advance(r2, s2)
+				continue
+			}
+			// A '.' is part of the number only if followed by a digit;
+			// otherwise it terminates the clause ("r(1)." ).
+			if r2 == '.' && !sawDot && l.pos+s2 < len(l.src) {
+				if r3, _ := utf8.DecodeRuneInString(l.src[l.pos+s2:]); unicode.IsDigit(r3) {
+					sawDot = true
+					l.advance(r2, s2)
+					continue
+				}
+			}
+			break
+		}
+		return mk(tokNumber, l.src[start:l.pos]), nil
+	}
+
+	if isIdentStart(r) {
+		start := l.pos
+		for {
+			r2, s2 := l.peekRune()
+			if !isIdentPart(r2) {
+				break
+			}
+			l.advance(r2, s2)
+		}
+		text := l.src[start:l.pos]
+		if text == "_" {
+			// "_|_" is the bottom symbol; a lone "_" is the anonymous
+			// variable.
+			if strings.HasPrefix(l.src[l.pos:], "|_") {
+				l.pos += 2
+				l.col += 2
+				return mk(tokBottom, "_|_"), nil
+			}
+			return mk(tokAnon, "_"), nil
+		}
+		if text == "not" || text == "NOT" {
+			return mk(tokNot, text), nil
+		}
+		if text == "false" || text == "bot" {
+			return mk(tokBottom, text), nil
+		}
+		first, _ := utf8.DecodeRuneInString(text)
+		if unicode.IsUpper(first) || first == '_' {
+			return mk(tokVar, text), nil
+		}
+		return mk(tokIdent, text), nil
+	}
+
+	return token{}, l.errorf("unexpected character %q", r)
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

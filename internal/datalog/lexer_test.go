@@ -1,0 +1,144 @@
+package datalog
+
+import (
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []tokKind {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	out := make([]tokKind, 0, len(toks))
+	for _, tok := range toks {
+		out = append(out, tok.kind)
+	}
+	return out
+}
+
+func TestLexOperators(t *testing.T) {
+	cases := map[string]tokKind{
+		"=":  tokEq,
+		"<>": tokNe,
+		"!=": tokNe,
+		"≠":  tokNe,
+		"<":  tokLt,
+		">":  tokGt,
+		"<=": tokLe,
+		">=": tokGe,
+		":-": tokImplies,
+		":":  tokColon,
+		"+":  tokPlus,
+		"-":  tokMinus,
+		"(":  tokLParen,
+		")":  tokRParen,
+		",":  tokComma,
+		".":  tokDot,
+	}
+	for src, want := range cases {
+		got := kinds(t, src)
+		if len(got) != 2 || got[0] != want {
+			t.Errorf("lex(%q) = %v, want [%v EOF]", src, got, want)
+		}
+	}
+}
+
+func TestLexBottomVariants(t *testing.T) {
+	for _, src := range []string{"_|_", "⊥", "false", "bot"} {
+		got := kinds(t, src)
+		if len(got) != 2 || got[0] != tokBottom {
+			t.Errorf("lex(%q) = %v, want bottom", src, got)
+		}
+	}
+}
+
+func TestLexNegationVariants(t *testing.T) {
+	for _, src := range []string{"not", "NOT", "¬", "!"} {
+		got := kinds(t, src)
+		if len(got) != 2 || got[0] != tokNot {
+			t.Errorf("lex(%q) = %v, want not", src, got)
+		}
+	}
+}
+
+func TestLexIdentifiersAndVariables(t *testing.T) {
+	toks, err := lexAll("emp_name Emp_Name _ _X x9 X9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokKind{tokIdent, tokVar, tokAnon, tokVar, tokIdent, tokVar, tokEOF}
+	for i, k := range want {
+		if toks[i].kind != k {
+			t.Errorf("token %d (%q) = %v, want %v", i, toks[i].text, toks[i].kind, k)
+		}
+	}
+}
+
+func TestLexNumbersAndDots(t *testing.T) {
+	// "r(1)." — the final dot terminates the clause, it is not part of the
+	// number.
+	toks, err := lexAll("1.5 42 7.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "1.5" || toks[1].text != "42" {
+		t.Errorf("number texts = %q %q", toks[0].text, toks[1].text)
+	}
+	if toks[2].text != "7" || toks[3].kind != tokDot {
+		t.Errorf("trailing dot mis-lexed: %q %v", toks[2].text, toks[3].kind)
+	}
+}
+
+func TestLexStringsAndEscapes(t *testing.T) {
+	toks, err := lexAll("'hello' 'it''s' ''")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "hello" || toks[1].text != "it's" || toks[2].text != "" {
+		t.Errorf("strings = %q %q %q", toks[0].text, toks[1].text, toks[2].text)
+	}
+	if _, err := lexAll("'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+}
+
+func TestLexCommentsAndPositions(t *testing.T) {
+	toks, err := lexAll("a % comment to end of line\nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].text != "a" || toks[1].text != "b" {
+		t.Fatalf("comment not skipped: %+v", toks)
+	}
+	if toks[1].line != 2 || toks[1].col != 1 {
+		t.Errorf("position of b = %d:%d, want 2:1", toks[1].line, toks[1].col)
+	}
+	// Comment at EOF without newline.
+	toks, err = lexAll("x % trailing")
+	if err != nil || len(toks) != 2 {
+		t.Errorf("trailing comment: %v %v", toks, err)
+	}
+}
+
+func TestLexRejectsUnknownCharacters(t *testing.T) {
+	for _, src := range []string{"@", "#", "[", "&"} {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexUnicodeTypography(t *testing.T) {
+	got := kinds(t, "⊥ :- v(X), ¬r(X), X ≠ 1.")
+	want := []tokKind{tokBottom, tokImplies, tokIdent, tokLParen, tokVar, tokRParen, tokComma,
+		tokNot, tokIdent, tokLParen, tokVar, tokRParen, tokComma, tokVar, tokNe, tokNumber, tokDot, tokEOF}
+	if len(got) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package datalog
+
+import (
+	"sort"
+	"strings"
+
+	"birds/internal/value"
+)
+
+// This file implements semantics-preserving program simplifications applied
+// before evaluation or SQL generation: duplicate-literal elimination,
+// ground built-in folding, detection of trivially false rule bodies,
+// duplicate-rule elimination, and constant propagation through positive
+// equalities (X = c rewrites X to c everywhere safe).
+
+// SimplifyRule returns a simplified copy of the rule, or nil when the body
+// is unsatisfiable (the rule can never fire).
+func SimplifyRule(r *Rule) *Rule {
+	out := r.Clone()
+
+	// Constant propagation: a positive equality X = c (or c = X) lets
+	// every occurrence of X be replaced by c; the equality itself is then
+	// dropped. Safety note: dropping is only sound because the remaining
+	// occurrences of c keep the rule's bindings intact — if X occurred
+	// nowhere else the equality was the sole binder, so we keep it when X
+	// appears only once in the whole rule.
+	constOf := make(map[string]value.Value)
+	occurrences := make(map[string]int)
+	countTerm := func(t Term) {
+		if t.IsVar() {
+			occurrences[t.Var]++
+		}
+	}
+	if out.Head != nil {
+		for _, t := range out.Head.Args {
+			countTerm(t)
+		}
+	}
+	for _, l := range out.Body {
+		if l.Atom != nil {
+			for _, t := range l.Atom.Args {
+				countTerm(t)
+			}
+		} else {
+			countTerm(l.Builtin.L)
+			countTerm(l.Builtin.R)
+		}
+	}
+	for _, l := range out.Body {
+		if l.Builtin == nil || l.Neg || l.Builtin.Op != OpEq {
+			continue
+		}
+		b := l.Builtin
+		if b.L.IsVar() && b.R.IsConst() && occurrences[b.L.Var] > 1 {
+			constOf[b.L.Var] = b.R.Const
+		} else if b.R.IsVar() && b.L.IsConst() && occurrences[b.R.Var] > 1 {
+			constOf[b.R.Var] = b.L.Const
+		}
+	}
+	subst := func(t Term) Term {
+		if t.IsVar() {
+			if c, ok := constOf[t.Var]; ok {
+				return C(c)
+			}
+		}
+		return t
+	}
+	applyAtom := func(a *Atom) {
+		for i, t := range a.Args {
+			a.Args[i] = subst(t)
+		}
+	}
+	if out.Head != nil {
+		applyAtom(out.Head)
+	}
+
+	var body []Literal
+	seen := make(map[string]bool)
+	for _, l := range out.Body {
+		nl := l.Clone()
+		if nl.Atom != nil {
+			applyAtom(nl.Atom)
+		} else {
+			b := nl.Builtin
+			b.L, b.R = subst(b.L), subst(b.R)
+			// Fold ground built-ins.
+			if b.L.IsConst() && b.R.IsConst() {
+				holds := b.Op.Eval(b.L.Const, b.R.Const)
+				if nl.Neg {
+					holds = !holds
+				}
+				if !holds {
+					return nil // body is unsatisfiable
+				}
+				continue // trivially true conjunct
+			}
+			// X op X folds too.
+			if b.L.IsVar() && b.R.IsVar() && b.L.Var == b.R.Var {
+				holds := b.Op == OpEq || b.Op == OpLe || b.Op == OpGe
+				if nl.Neg {
+					holds = !holds
+				}
+				if !holds {
+					return nil
+				}
+				continue
+			}
+		}
+		k := nl.String()
+		if seen[k] {
+			continue // duplicate conjunct
+		}
+		seen[k] = true
+		body = append(body, nl)
+	}
+
+	// Direct contradiction: a literal and its negation in one body.
+	lits := make(map[string]bool, len(body))
+	for _, l := range body {
+		lits[l.String()] = true
+	}
+	for _, l := range body {
+		neg := l.Clone()
+		neg.Neg = !neg.Neg
+		if lits[neg.String()] {
+			return nil
+		}
+	}
+
+	out.Body = body
+	return out
+}
+
+// Simplify returns a simplified copy of the program: every rule is
+// simplified, unsatisfiable rules are dropped, duplicate rules are merged
+// (up to a canonical ordering of independent body literals), and rules for
+// predicates that became undefined are untouched (their absence simply
+// yields empty relations).
+func Simplify(p *Program) *Program {
+	out := &Program{Sources: p.Clone().Sources, View: p.Clone().View}
+	seen := make(map[string]bool)
+	for _, r := range p.Rules {
+		sr := SimplifyRule(r)
+		if sr == nil {
+			continue
+		}
+		k := canonicalRuleKey(sr)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Rules = append(out.Rules, sr)
+	}
+	return out
+}
+
+// canonicalRuleKey renders a rule with its body literals sorted, so that
+// rules differing only in literal order deduplicate. (Variable renaming is
+// not canonicalized; α-equivalent rules with different names are kept.)
+func canonicalRuleKey(r *Rule) string {
+	parts := make([]string, len(r.Body))
+	for i, l := range r.Body {
+		parts[i] = l.String()
+	}
+	sort.Strings(parts)
+	head := "_|_"
+	if r.Head != nil {
+		head = r.Head.String()
+	}
+	return head + " :- " + strings.Join(parts, ", ")
+}

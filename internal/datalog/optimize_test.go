@@ -1,0 +1,114 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustRule(t *testing.T, src string) *Rule {
+	t.Helper()
+	r, err := ParseRule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSimplifyRuleDuplicates(t *testing.T) {
+	r := mustRule(t, "h(X) :- r(X), r(X), not s(X), not s(X).")
+	sr := SimplifyRule(r)
+	if sr == nil || len(sr.Body) != 2 {
+		t.Fatalf("duplicates not removed: %v", sr)
+	}
+}
+
+func TestSimplifyRuleConstantPropagation(t *testing.T) {
+	r := mustRule(t, "h(X,Y) :- r(X), Y = 2, not s(X,Y).")
+	sr := SimplifyRule(r)
+	if sr == nil {
+		t.Fatal("rule dropped")
+	}
+	text := sr.String()
+	if !strings.Contains(text, "h(X, 2)") || !strings.Contains(text, "not s(X, 2)") {
+		t.Errorf("constant not propagated: %s", text)
+	}
+	if strings.Contains(text, "Y") {
+		t.Errorf("equality should be folded away: %s", text)
+	}
+}
+
+func TestSimplifyRuleKeepsSoleBinder(t *testing.T) {
+	// Y occurs only in the equality: it must stay (it is the binder).
+	r := mustRule(t, "h(X) :- r(X), Y = 2.")
+	sr := SimplifyRule(r)
+	if sr == nil || len(sr.Body) != 2 {
+		t.Fatalf("sole-binder equality must be kept: %v", sr)
+	}
+}
+
+func TestSimplifyRuleGroundFolding(t *testing.T) {
+	if sr := SimplifyRule(mustRule(t, "h(X) :- r(X), 1 = 1, not 2 = 3.")); sr == nil || len(sr.Body) != 1 {
+		t.Errorf("true ground builtins should fold away: %v", sr)
+	}
+	if sr := SimplifyRule(mustRule(t, "h(X) :- r(X), 1 = 2.")); sr != nil {
+		t.Errorf("false ground builtin should drop the rule: %v", sr)
+	}
+	if sr := SimplifyRule(mustRule(t, "h(X) :- r(X), X < X.")); sr != nil {
+		t.Errorf("X < X should drop the rule: %v", sr)
+	}
+	if sr := SimplifyRule(mustRule(t, "h(X) :- r(X), X = X, X >= X.")); sr == nil || len(sr.Body) != 1 {
+		t.Errorf("X = X should fold away: %v", sr)
+	}
+}
+
+func TestSimplifyRuleConflictingEqualities(t *testing.T) {
+	// X = 1 and X = 2 cannot both hold.
+	if sr := SimplifyRule(mustRule(t, "h(X) :- r(X), X = 1, X = 2.")); sr != nil {
+		t.Errorf("conflicting equalities should drop the rule: %v", sr)
+	}
+}
+
+func TestSimplifyRuleContradiction(t *testing.T) {
+	if sr := SimplifyRule(mustRule(t, "h(X) :- r(X), not r(X).")); sr != nil {
+		t.Errorf("p ∧ ¬p should drop the rule: %v", sr)
+	}
+}
+
+func TestSimplifyProgramDedup(t *testing.T) {
+	p := mustParseProg(t, `
+source r(a:int).
+view v(a:int).
+h(X) :- r(X), not v(X).
+h(X) :- not v(X), r(X).
+h(X) :- r(X), 1 = 2.
+`)
+	sp := Simplify(p)
+	if len(sp.Rules) != 1 {
+		t.Fatalf("want 1 rule after simplification, got %d:\n%s", len(sp.Rules), sp)
+	}
+}
+
+func TestSimplifyPreservesConstraints(t *testing.T) {
+	p := mustParseProg(t, `
+source r(a:int).
+view v(a:int).
+_|_ :- v(X), X > 9, X > 9.
++r(X) :- v(X), not r(X).
+`)
+	sp := Simplify(p)
+	if len(sp.Constraints()) != 1 {
+		t.Fatalf("constraint lost:\n%s", sp)
+	}
+	if len(sp.Constraints()[0].Body) != 2 {
+		t.Errorf("duplicate conjunct in constraint not removed: %v", sp.Constraints()[0])
+	}
+}
+
+func mustParseProg(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,365 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"birds/internal/value"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a complete putback program: `source`/`view` declarations
+// followed by rules and constraints.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseProgram()
+}
+
+// ParseRule parses a single rule or constraint (handy in tests and tools).
+func ParseRule(src string) (*Rule, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	r, err := p.parseRule()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errorf("trailing input after rule")
+	}
+	return r, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.cur().kind != k {
+		return token{}, p.errorf("expected %s, found %s %q", k, p.cur().kind, p.cur().text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.cur().kind != tokEOF {
+		if p.cur().kind == tokIdent && (p.cur().text == "source" || p.cur().text == "view") &&
+			p.peek().kind == tokIdent {
+			kw := p.advance().text
+			decl, err := p.parseRelDecl()
+			if err != nil {
+				return nil, err
+			}
+			if kw == "source" {
+				if prog.Source(decl.Name) != nil {
+					return nil, p.errorf("duplicate source declaration %q", decl.Name)
+				}
+				prog.Sources = append(prog.Sources, decl)
+			} else {
+				if prog.View != nil {
+					return nil, p.errorf("duplicate view declaration %q", decl.Name)
+				}
+				prog.View = decl
+			}
+			continue
+		}
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	return prog, nil
+}
+
+// parseRelDecl parses name(attr:type, ...) followed by a dot.
+func (p *parser) parseRelDecl() (*RelDecl, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	decl := &RelDecl{Name: name.text}
+	for {
+		attr, err := p.parseAttrDecl()
+		if err != nil {
+			return nil, err
+		}
+		decl.Attrs = append(decl.Attrs, *attr)
+		if p.cur().kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return nil, err
+	}
+	return decl, nil
+}
+
+var validTypes = map[string]bool{
+	"int": true, "integer": true, "float": true, "real": true,
+	"string": true, "text": true, "bool": true, "boolean": true,
+	"date": true, "timestamp": true,
+}
+
+func (p *parser) parseAttrDecl() (*AttrDecl, error) {
+	var name string
+	switch p.cur().kind {
+	case tokIdent, tokVar:
+		name = p.advance().text
+	case tokString:
+		name = p.advance().text
+	default:
+		return nil, p.errorf("expected attribute name, found %q", p.cur().text)
+	}
+	typ := "string"
+	if p.cur().kind == tokColon {
+		p.advance()
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if !validTypes[t.text] {
+			return nil, p.errorf("unknown attribute type %q", t.text)
+		}
+		typ = t.text
+	}
+	return &AttrDecl{Name: name, Type: typ}, nil
+}
+
+// parseRule parses either `head :- body.`, a fact `head.`, or a constraint
+// `_|_ :- body.`.
+func (p *parser) parseRule() (*Rule, error) {
+	var head *Atom
+	if p.cur().kind == tokBottom {
+		p.advance()
+	} else {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		head = a
+	}
+	r := &Rule{Head: head}
+	if p.cur().kind == tokDot {
+		p.advance()
+		if head == nil {
+			return nil, p.errorf("a constraint must have a body")
+		}
+		return r, nil
+	}
+	if _, err := p.expect(tokImplies); err != nil {
+		return nil, err
+	}
+	for {
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		r.Body = append(r.Body, *lit)
+		if p.cur().kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// parseLiteral parses one conjunct: [not] atom, or [not] term cmp term.
+func (p *parser) parseLiteral() (*Literal, error) {
+	neg := false
+	if p.cur().kind == tokNot {
+		p.advance()
+		neg = true
+	}
+	// A delta or plain atom starts with +, -, or an identifier followed
+	// by '('. Everything else must be a built-in comparison.
+	switch p.cur().kind {
+	case tokPlus, tokMinus:
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &Literal{Neg: neg, Atom: a}, nil
+	case tokIdent:
+		if p.peek().kind == tokLParen {
+			a, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			return &Literal{Neg: neg, Atom: a}, nil
+		}
+	}
+	// Built-in: term op term.
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	var op CmpOp
+	switch p.cur().kind {
+	case tokEq:
+		op = OpEq
+	case tokNe:
+		op = OpNe
+	case tokLt:
+		op = OpLt
+	case tokGt:
+		op = OpGt
+	case tokLe:
+		op = OpLe
+	case tokGe:
+		op = OpGe
+	default:
+		return nil, p.errorf("expected comparison operator, found %q", p.cur().text)
+	}
+	p.advance()
+	r, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return &Literal{Neg: neg, Builtin: &Builtin{Op: op, L: *l, R: *r}}, nil
+}
+
+// parseAtom parses [+|-] name ( term, ... ).
+func (p *parser) parseAtom() (*Atom, error) {
+	delta := NoDelta
+	switch p.cur().kind {
+	case tokPlus:
+		p.advance()
+		delta = Insert
+	case tokMinus:
+		p.advance()
+		delta = Delete
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	a := &Atom{Pred: PredSym{Name: name.text, Delta: delta}}
+	if p.cur().kind == tokRParen {
+		p.advance()
+		return nil, p.errorf("predicate %q must have at least one argument", name.text)
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		a.Args = append(a.Args, *t)
+		if p.cur().kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// parseTerm parses a variable, anonymous variable, or constant.
+func (p *parser) parseTerm() (*Term, error) {
+	switch p.cur().kind {
+	case tokVar:
+		t := p.advance()
+		return &Term{Kind: TermVar, Var: t.text}, nil
+	case tokAnon:
+		p.advance()
+		return &Term{Kind: TermAnon}, nil
+	case tokString:
+		t := p.advance()
+		return &Term{Kind: TermConst, Const: value.Str(t.text)}, nil
+	case tokNumber:
+		t := p.advance()
+		return numberTerm(t.text, false)
+	case tokMinus:
+		p.advance()
+		t, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		return numberTerm(t.text, true)
+	case tokIdent:
+		t := p.advance()
+		if t.text == "true" {
+			return &Term{Kind: TermConst, Const: value.Bool(true)}, nil
+		}
+		// Bare lowercase identifiers in term position are string
+		// constants (Prolog-atom style), so `D = unknown` works.
+		return &Term{Kind: TermConst, Const: value.Str(t.text)}, nil
+	case tokBottom:
+		// The keyword `false` lexes as bottom; in term position it is the
+		// boolean constant.
+		if p.cur().text == "false" {
+			p.advance()
+			return &Term{Kind: TermConst, Const: value.Bool(false)}, nil
+		}
+	}
+	return nil, p.errorf("expected a term, found %q", p.cur().text)
+}
+
+func numberTerm(text string, negated bool) (*Term, error) {
+	if strings.Contains(text, ".") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("datalog: bad float literal %q: %w", text, err)
+		}
+		if negated {
+			f = -f
+		}
+		return &Term{Kind: TermConst, Const: value.Float(f)}, nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: bad integer literal %q: %w", text, err)
+	}
+	if negated {
+		i = -i
+	}
+	return &Term{Kind: TermConst, Const: value.Int(i)}, nil
+}

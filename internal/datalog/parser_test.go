@@ -1,0 +1,367 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"birds/internal/value"
+)
+
+const unionProgram = `
+% Example 3.1 of the paper: a union view.
+source r1(a:int).
+source r2(a:int).
+view v(a:int).
+
+-r1(X) :- r1(X), not v(X).
+-r2(X) :- r2(X), not v(X).
++r1(X) :- v(X), not r1(X), not r2(X).
+`
+
+func TestParseUnionProgram(t *testing.T) {
+	p, err := Parse(unionProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Sources) != 2 || p.Sources[0].Name != "r1" || p.Sources[1].Name != "r2" {
+		t.Fatalf("sources wrong: %v", p.Sources)
+	}
+	if p.View == nil || p.View.Name != "v" || p.View.Arity() != 1 {
+		t.Fatalf("view wrong: %v", p.View)
+	}
+	if len(p.Rules) != 3 {
+		t.Fatalf("want 3 rules, got %d", len(p.Rules))
+	}
+	r := p.Rules[0]
+	if r.Head.Pred != Del("r1") {
+		t.Errorf("rule 0 head = %v", r.Head.Pred)
+	}
+	if len(r.Body) != 2 || r.Body[0].Neg || !r.Body[1].Neg {
+		t.Errorf("rule 0 body wrong: %v", r.Body)
+	}
+	if p.Rules[2].Head.Pred != Ins("r1") {
+		t.Errorf("rule 2 head = %v", p.Rules[2].Head.Pred)
+	}
+	if p.LOC() != 3 {
+		t.Errorf("LOC = %d", p.LOC())
+	}
+}
+
+func TestParsePaperTypography(t *testing.T) {
+	src := `
+source r(a:int, b:int, c:int).
+view v(a:int, b:int).
+-r(X,Y,Z) :- r(X,Y,Z), ¬ v(X,Y).
+⊥ :- v(X,Y), Y > 2.
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 2 {
+		t.Fatalf("want 2 rules, got %d", len(p.Rules))
+	}
+	if !p.Rules[0].Body[1].Neg {
+		t.Error("¬ not parsed as negation")
+	}
+	if !p.Rules[1].IsConstraint() {
+		t.Error("⊥ head not parsed as constraint")
+	}
+	bi := p.Rules[1].Body[1].Builtin
+	if bi == nil || bi.Op != OpGt || bi.R.Const.AsInt() != 2 {
+		t.Errorf("comparison literal wrong: %v", p.Rules[1].Body[1])
+	}
+}
+
+func TestParseConstantsAndComparisons(t *testing.T) {
+	src := `
+source female(e:string, b:date).
+view residents(e:string, b:date, g:string).
++female(E,B) :- residents(E,B,G), G = 'F', not female(E,B).
+-female(E,B) :- female(E,B), not residents(E,B,'F').
+_|_ :- residents(E,B,G), B < '1962-01-01'.
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := p.Rules[0].Body[1].Builtin
+	if eq == nil || eq.Op != OpEq || eq.R.Const.AsString() != "F" {
+		t.Errorf("equality literal wrong: %+v", p.Rules[0].Body[1])
+	}
+	atom := p.Rules[1].Body[1].Atom
+	if atom == nil || !atom.Args[2].IsConst() || atom.Args[2].Const.AsString() != "F" {
+		t.Errorf("string constant in atom wrong: %v", atom)
+	}
+	cons := p.Rules[2]
+	if !cons.IsConstraint() || cons.Body[1].Builtin.Op != OpLt {
+		t.Errorf("constraint wrong: %v", cons)
+	}
+	if cons.Body[1].Builtin.R.Const.AsString() != "1962-01-01" {
+		t.Errorf("date constant wrong: %v", cons.Body[1])
+	}
+}
+
+func TestParseAnonymousAndNegatedEquality(t *testing.T) {
+	src := `
+source r(a:int, b:int).
+view v(a:int).
+-r(X,Y) :- r(X,Y), not v(X), not Y = 1.
++r(X,Y) :- v(X), not r(X, _), Y = 0.
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := p.Rules[0].Body[2]
+	if !lit.Neg || lit.Builtin == nil || lit.Builtin.Op != OpEq {
+		t.Errorf("negated equality wrong: %v", lit)
+	}
+	anon := p.Rules[1].Body[1].Atom
+	if !anon.Args[1].IsAnon() {
+		t.Errorf("anonymous variable not parsed: %v", anon)
+	}
+	if !anon.HasAnon() {
+		t.Error("HasAnon false")
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	src := `
+source r(a:int, b:float).
+view v(a:int).
++r(X,Y) :- v(X), Y = 1.5, X > -3.
+-r(X,Y) :- r(X,Y), not v(X), Y = -2.5.
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := p.Rules[0].Body[1].Builtin.R.Const; f.Kind() != value.KindFloat || f.AsFloat() != 1.5 {
+		t.Errorf("float literal wrong: %v", f)
+	}
+	if n := p.Rules[0].Body[2].Builtin.R.Const; n.AsInt() != -3 {
+		t.Errorf("negative int literal wrong: %v", n)
+	}
+	if f := p.Rules[1].Body[2].Builtin.R.Const; f.AsFloat() != -2.5 {
+		t.Errorf("negative float literal wrong: %v", f)
+	}
+}
+
+func TestParseFact(t *testing.T) {
+	r, err := ParseRule("r(1, 'a').")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Body) != 0 || r.Head.Pred != Pred("r") {
+		t.Errorf("fact wrong: %v", r)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"r(X :- s(X).",                      // unbalanced paren
+		"r(X) :- s(X)",                      // missing dot
+		"r() :- s(X).",                      // nullary predicate
+		"r(X) :- .",                         // empty body conjunct
+		"_|_.",                              // constraint without body
+		"r(X) :- s(X), X ~ 2.",              // bad operator
+		"source r(a:int)",                   // missing dot on declaration
+		"source r(a:frobnicate).",           // unknown type
+		"r(X) :- 'unterminated.",            // unterminated string
+		"view v(a:int). view v(a:int).",     // duplicate view
+		"source r(a:int). source r(a:int).", // duplicate source
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+	var se *SyntaxError
+	_, err := Parse("r(X) :- s(X)")
+	if se, _ = err.(*SyntaxError); se == nil || se.Line == 0 {
+		t.Errorf("expected positioned SyntaxError, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "line") {
+		t.Errorf("error message should mention position: %v", err)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "% leading comment\nr(X) :- s(X). % trailing\n% final\n"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 {
+		t.Fatalf("comments not skipped: %v", p.Rules)
+	}
+}
+
+// Round-trip property: printing a parsed program and reparsing yields a
+// structurally identical program.
+func TestPrintParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		unionProgram,
+		`
+source male(e:string, b:date).
+source female(e:string, b:date).
+source others(e:string, b:date, g:string).
+view residents(e:string, b:date, g:string).
++male(E,B) :- residents(E,B,'M'), not male(E,B), not others(E,B,'M').
+-male(E,B) :- male(E,B), not residents(E,B,'M').
++female(E,B) :- residents(E,B,G), G = 'F', not female(E,B), not others(E,B,G).
+-female(E,B) :- female(E,B), not residents(E,B,'F').
++others(E,B,G) :- residents(E,B,G), not G = 'M', not G = 'F', not others(E,B,G).
+-others(E,B,G) :- others(E,B,G), not residents(E,B,G).
+`,
+		`
+source r(a:int, b:int).
+view v(a:int, b:int).
+_|_ :- v(X,Y), Y > 2.
++r(X,Y) :- v(X,Y), not r(X,Y).
+-r(X,Y) :- r(X,Y), Y > 2, not v(X,Y), X <= 10, Y >= -1, X <> Y.
+`,
+	}
+	for i, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		printed := p1.String()
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("program %d reparse: %v\nprinted:\n%s", i, err, printed)
+		}
+		if p1.String() != p2.String() {
+			t.Errorf("program %d: round trip differs:\n%s\nvs\n%s", i, p1, p2)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p, err := Parse(unionProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	c.Rules[0].Head.Pred = Ins("zzz")
+	c.Sources[0].Name = "changed"
+	if p.Rules[0].Head.Pred == Ins("zzz") || p.Sources[0].Name == "changed" {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestProgramAccessors(t *testing.T) {
+	src := `
+source r(a:int).
+view v(a:int).
+aux(X) :- r(X).
++r(X) :- v(X), not aux(X).
+_|_ :- v(X), X > 9.
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Constraints()) != 1 || len(p.NonConstraintRules()) != 2 {
+		t.Error("constraint partition wrong")
+	}
+	if len(p.DeltaRules()) != 1 {
+		t.Error("DeltaRules wrong")
+	}
+	if len(p.RulesFor(Pred("aux"))) != 1 || len(p.RulesFor(Ins("r"))) != 1 {
+		t.Error("RulesFor wrong")
+	}
+	idb := p.IDBPreds()
+	if !idb[Pred("aux")] || !idb[Ins("r")] || idb[Pred("r")] {
+		t.Errorf("IDBPreds wrong: %v", idb)
+	}
+	if p.Source("r") == nil || p.Source("nope") != nil {
+		t.Error("Source lookup wrong")
+	}
+}
+
+func TestTermHelpers(t *testing.T) {
+	if !V("X").IsVar() || !CInt(3).IsConst() || !Anon().IsAnon() {
+		t.Error("constructors wrong")
+	}
+	if !V("X").Equal(V("X")) || V("X").Equal(V("Y")) {
+		t.Error("var equality wrong")
+	}
+	if !CInt(1).Equal(C(value.Int(1))) || CInt(1).Equal(CInt(2)) {
+		t.Error("const equality wrong")
+	}
+	if !Anon().Equal(Anon()) || Anon().Equal(V("X")) {
+		t.Error("anon equality wrong")
+	}
+	if CStr("a").String() != "'a'" || V("X").String() != "X" || Anon().String() != "_" {
+		t.Error("term String wrong")
+	}
+}
+
+func TestCmpOpSemantics(t *testing.T) {
+	one, two := value.Int(1), value.Int(2)
+	cases := []struct {
+		op   CmpOp
+		a, b value.Value
+		want bool
+	}{
+		{OpEq, one, one, true}, {OpEq, one, two, false},
+		{OpNe, one, two, true}, {OpNe, one, one, false},
+		{OpLt, one, two, true}, {OpLt, two, one, false},
+		{OpGt, two, one, true}, {OpGt, one, two, false},
+		{OpLe, one, one, true}, {OpLe, two, one, false},
+		{OpGe, one, one, true}, {OpGe, one, two, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+	// Negate is an involution and complements Eval.
+	for _, op := range []CmpOp{OpEq, OpNe, OpLt, OpGt, OpLe, OpGe} {
+		if op.Negate().Negate() != op {
+			t.Errorf("Negate not involutive on %v", op)
+		}
+		if op.Negate().Eval(one, two) == op.Eval(one, two) {
+			t.Errorf("Negate(%v) does not complement", op)
+		}
+	}
+}
+
+func TestRuleVarsAndString(t *testing.T) {
+	r, err := ParseRule("+r(X,Y) :- v(X,Y), not s(Y,Z), Z > 2.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := r.Vars()
+	want := []string{"X", "Y", "Z"}
+	if len(vars) != len(want) {
+		t.Fatalf("Vars = %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", vars, want)
+		}
+	}
+	if r.String() != "+r(X, Y) :- v(X, Y), not s(Y, Z), Z > 2." {
+		t.Errorf("rule String = %q", r.String())
+	}
+	c := NewConstraint(Pos(NewAtom(Pred("v"), V("X"))))
+	if c.String() != "_|_ :- v(X)." {
+		t.Errorf("constraint String = %q", c.String())
+	}
+}
+
+func TestPredSymHelpers(t *testing.T) {
+	if Ins("r").String() != "+r" || Del("r").String() != "-r" || Pred("r").String() != "r" {
+		t.Error("PredSym String wrong")
+	}
+	if !Ins("r").IsDelta() || Pred("r").IsDelta() {
+		t.Error("IsDelta wrong")
+	}
+	if Ins("r").Base() != Pred("r") {
+		t.Error("Base wrong")
+	}
+}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"birds/internal/value"
+)
+
+// Concurrent readers and writers must serialize without races or lost
+// updates (run under -race in CI).
+func TestConcurrentExecAndRead(t *testing.T) {
+	db := setupUnion(t, true)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				x := value.Int(int64(100 + w*1000 + i))
+				if err := db.Exec(Insert("v", x)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := db.Rel("v"); err != nil {
+					errs <- err
+					return
+				}
+				if err := db.Exec(Delete("v", Eq("a", x))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All workers' tuples were inserted then deleted: back to the start.
+	v, err := db.Rel("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(value.RelationOf(1, tup(1), tup(2), tup(4))) {
+		t.Errorf("v = %v after concurrent churn", v)
+	}
+}
+
+func TestConcurrentReadersOnly(t *testing.T) {
+	db := setupUnion(t, false)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := db.Rel("v"); err != nil {
+					t.Error(err)
+					return
+				}
+				db.IsView("v")
+				db.View("v")
+			}
+		}()
+	}
+	wg.Wait()
+}

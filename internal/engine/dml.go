@@ -1,0 +1,506 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"birds/internal/datalog"
+	"birds/internal/eval"
+	"birds/internal/value"
+)
+
+// StmtKind discriminates DML statements.
+type StmtKind uint8
+
+// DML statement kinds.
+const (
+	StmtInsert StmtKind = iota
+	StmtDelete
+	StmtUpdate
+)
+
+// Condition is one WHERE conjunct: column op literal.
+type Condition struct {
+	Col string
+	Op  datalog.CmpOp
+	Val value.Value
+}
+
+// Assignment is one SET clause of an UPDATE.
+type Assignment struct {
+	Col string
+	Val value.Value
+}
+
+// Statement is a DML statement against a table or view.
+type Statement struct {
+	Kind   StmtKind
+	Target string
+	Row    value.Tuple  // INSERT
+	Where  []Condition  // DELETE / UPDATE
+	Set    []Assignment // UPDATE
+}
+
+// Insert builds an INSERT statement.
+func Insert(target string, row ...value.Value) Statement {
+	return Statement{Kind: StmtInsert, Target: target, Row: value.Tuple(row)}
+}
+
+// Delete builds a DELETE statement.
+func Delete(target string, where ...Condition) Statement {
+	return Statement{Kind: StmtDelete, Target: target, Where: where}
+}
+
+// Update builds an UPDATE statement.
+func Update(target string, set []Assignment, where ...Condition) Statement {
+	return Statement{Kind: StmtUpdate, Target: target, Set: set, Where: where}
+}
+
+// Eq is the common equality condition.
+func Eq(col string, v value.Value) Condition {
+	return Condition{Col: col, Op: datalog.OpEq, Val: v}
+}
+
+// Exec runs the statements as one transaction (BEGIN ... END). All
+// statements must target the same relation; for a view target, the
+// combined view delta is derived per Algorithm 2 and propagated through
+// the view's update strategy to the sources. On any error nothing is
+// applied.
+func (db *DB) Exec(stmts ...Statement) error {
+	if len(stmts) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	target := stmts[0].Target
+	for _, s := range stmts[1:] {
+		if s.Target != target {
+			return fmt.Errorf("engine: a transaction must target a single relation (%q vs %q)", target, s.Target)
+		}
+	}
+	if _, ok := db.tables[target]; ok {
+		return db.execTable(target, stmts)
+	}
+	if _, ok := db.views[target]; ok {
+		return db.execView(target, stmts)
+	}
+	return fmt.Errorf("engine: unknown relation %q", target)
+}
+
+// --- statements against base tables -------------------------------------
+
+func (db *DB) execTable(name string, stmts []Statement) error {
+	decl := db.tables[name]
+	p := datalog.Pred(name)
+	changedAny := false
+	for _, s := range stmts {
+		switch s.Kind {
+		case StmtInsert:
+			if len(s.Row) != decl.Arity() {
+				return fmt.Errorf("engine: INSERT arity mismatch on %q", name)
+			}
+			if db.store.Insert(p, s.Row) {
+				changedAny = true
+			}
+		case StmtDelete:
+			rows, err := db.matchRows(name, decl, s.Where)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				if db.store.Delete(p, r) {
+					changedAny = true
+				}
+			}
+		case StmtUpdate:
+			rows, err := db.matchRows(name, decl, s.Where)
+			if err != nil {
+				return err
+			}
+			updated, err := applyAssignments(decl, rows, s.Set)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				db.store.Delete(p, r)
+			}
+			for _, r := range updated {
+				db.store.Insert(p, r)
+			}
+			changedAny = changedAny || len(rows) > 0
+		}
+	}
+	if changedAny {
+		db.markDependentsDirty(map[string]bool{name: true}, nil)
+	}
+	return nil
+}
+
+// --- statements against views --------------------------------------------
+
+// execView derives the transaction's view delta (Algorithm 2), checks the
+// constraints, propagates through the strategy cascade, and applies the
+// resulting plan atomically.
+func (db *DB) execView(name string, stmts []Statement) error {
+	v := db.views[name]
+	if db.dirty[name] {
+		if err := db.refresh(name); err != nil {
+			return err
+		}
+	}
+	ins, del, err := db.viewDelta(name, v.Decl, stmts)
+	if err != nil {
+		return err
+	}
+
+	pl := newPlan()
+	if err := db.propagate(name, ins, del, pl); err != nil {
+		return err
+	}
+	return db.applyPlan(pl)
+}
+
+// viewDelta implements Algorithm 2: fold the per-statement insertion and
+// deletion sets into ΔV, with later statements overriding earlier ones.
+func (db *DB) viewDelta(name string, decl *datalog.RelDecl, stmts []Statement) (ins, del *value.Relation, err error) {
+	arity := decl.Arity()
+	ins, del = value.NewRelation(arity), value.NewRelation(arity)
+
+	// matchEffective returns the rows of (V \ del) ∪ ins matching where.
+	matchEffective := func(where []Condition) ([]value.Tuple, error) {
+		base, err := db.matchRows(name, decl, where)
+		if err != nil {
+			return nil, err
+		}
+		var out []value.Tuple
+		for _, r := range base {
+			if !del.Contains(r) {
+				out = append(out, r)
+			}
+		}
+		for _, r := range ins.Tuples() {
+			okRow, err := rowMatches(decl, r, where)
+			if err != nil {
+				return nil, err
+			}
+			if okRow {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	}
+
+	for _, s := range stmts {
+		var plus, minus []value.Tuple
+		switch s.Kind {
+		case StmtInsert:
+			if len(s.Row) != arity {
+				return nil, nil, fmt.Errorf("engine: INSERT arity mismatch on %q", name)
+			}
+			plus = []value.Tuple{s.Row}
+		case StmtDelete:
+			minus, err = matchEffective(s.Where)
+			if err != nil {
+				return nil, nil, err
+			}
+		case StmtUpdate:
+			minus, err = matchEffective(s.Where)
+			if err != nil {
+				return nil, nil, err
+			}
+			plus, err = applyAssignments(decl, minus, s.Set)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		// ΔV+ ← (ΔV+ \ δ−) ∪ δ+ ; ΔV− ← (ΔV− ∪ δ−) \ δ+ (Algorithm 2,
+		// with a statement's own deletions applied before its insertions —
+		// an UPDATE rewriting a row to itself is a net no-op, per
+		// Appendix D's "deletions followed by insertions").
+		for _, r := range minus {
+			ins.Remove(r)
+			del.Add(r)
+		}
+		for _, r := range plus {
+			ins.Add(r)
+			del.Remove(r)
+		}
+	}
+	return ins, del, nil
+}
+
+// plan accumulates the changes of one transaction before anything is
+// applied, so that a failed constraint or contradiction aborts cleanly.
+type plan struct {
+	ins map[string]*value.Relation // per relation (base tables and views)
+	del map[string]*value.Relation
+}
+
+func newPlan() *plan {
+	return &plan{ins: make(map[string]*value.Relation), del: make(map[string]*value.Relation)}
+}
+
+func (p *plan) add(name string, arity int, ins, del *value.Relation) {
+	if p.ins[name] == nil {
+		p.ins[name] = value.NewRelation(arity)
+		p.del[name] = value.NewRelation(arity)
+	}
+	p.ins[name].UnionWith(ins)
+	p.del[name].UnionWith(del)
+}
+
+// propagate evaluates the update strategy of view name against the view
+// delta and records the source deltas in the plan, cascading into sources
+// that are themselves views.
+func (db *DB) propagate(name string, ins, del *value.Relation, pl *plan) error {
+	v := db.views[name]
+	cur := db.store.RelOrEmpty(datalog.Pred(name), v.Decl.Arity())
+	// Normalize: inserting a present tuple and deleting an absent one are
+	// no-ops under set semantics.
+	normIns := value.NewRelation(v.Decl.Arity())
+	ins.Each(func(t value.Tuple) {
+		if !cur.Contains(t) {
+			normIns.Add(t)
+		}
+	})
+	normDel := value.NewRelation(v.Decl.Arity())
+	del.Each(func(t value.Tuple) {
+		if cur.Contains(t) {
+			normDel.Add(t)
+		}
+	})
+	if normIns.Empty() && normDel.Empty() {
+		return nil
+	}
+	pl.add(name, v.Decl.Arity(), normIns, normDel)
+
+	deltas := make(map[string][2]*value.Relation) // source -> (ins, del)
+	if v.Incremental {
+		if err := db.evalIncremental(v, normIns, normDel, deltas); err != nil {
+			return err
+		}
+	} else {
+		if err := db.evalFull(name, v, normIns, normDel, deltas); err != nil {
+			return err
+		}
+	}
+
+	for _, s := range v.sources {
+		d, ok := deltas[s]
+		if !ok {
+			continue
+		}
+		if _, isTable := db.tables[s]; isTable {
+			pl.add(s, db.tables[s].Arity(), d[0], d[1])
+			continue
+		}
+		if err := db.propagate(s, d[0], d[1], pl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalIncremental runs ∂put: the store is extended with the view delta
+// relations +v / -v, the incremental program is evaluated, and the source
+// deltas are collected. Cost is proportional to the view delta once the
+// store's indexes are warm.
+func (db *DB) evalIncremental(v *View, ins, del *value.Relation, deltas map[string][2]*value.Relation) error {
+	name := v.Decl.Name
+	db.store.Set(datalog.Ins(name), ins)
+	db.store.Set(datalog.Del(name), del)
+	defer func() {
+		db.store.Set(datalog.Ins(name), value.NewRelation(v.Decl.Arity()))
+		db.store.Set(datalog.Del(name), value.NewRelation(v.Decl.Arity()))
+	}()
+
+	// Admissibility: constraints checked against the inserted tuples.
+	if err := v.consEval.Eval(db.store); err != nil {
+		return err
+	}
+	violated, err := v.consEval.Violations(db.store)
+	if err != nil {
+		return err
+	}
+	if len(violated) > 0 {
+		return fmt.Errorf("engine: view update on %q rejected: constraint %s violated", name, violated[0])
+	}
+
+	if err := v.incEval.Eval(db.store); err != nil {
+		return err
+	}
+	collectDeltas(db.store, v, deltas)
+	return nil
+}
+
+// evalFull runs the original putdelta over (S, V ⊕ ΔV): the view relation
+// is temporarily replaced by the updated view, the full strategy is
+// evaluated (cost proportional to the base tables), and the source deltas
+// are collected.
+func (db *DB) evalFull(name string, v *View, ins, del *value.Relation, deltas map[string][2]*value.Relation) error {
+	p := datalog.Pred(name)
+	old := db.store.RelOrEmpty(p, v.Decl.Arity())
+	updated := old.Clone()
+	updated.SubtractAll(del)
+	updated.UnionWith(ins)
+	db.store.Set(p, updated)
+	defer db.store.Set(p, old)
+
+	ev := v.Strategy.Evaluator()
+	if err := ev.Eval(db.store); err != nil {
+		return err
+	}
+	violated, err := ev.Violations(db.store)
+	if err != nil {
+		return err
+	}
+	if len(violated) > 0 {
+		return fmt.Errorf("engine: view update on %q rejected: constraint %s violated", name, violated[0])
+	}
+	collectDeltas(db.store, v, deltas)
+	return nil
+}
+
+// collectDeltas clones the evaluated ±source relations out of the store.
+func collectDeltas(store *eval.Database, v *View, deltas map[string][2]*value.Relation) {
+	for _, s := range v.Strategy.Prog.Sources {
+		ins := store.RelOrEmpty(datalog.Ins(s.Name), s.Arity()).Clone()
+		del := store.RelOrEmpty(datalog.Del(s.Name), s.Arity()).Clone()
+		if ins.Empty() && del.Empty() {
+			continue
+		}
+		deltas[s.Name] = [2]*value.Relation{ins, del}
+	}
+}
+
+// applyPlan validates the accumulated plan (no relation may both insert and
+// delete the same tuple) and applies it to the store, maintaining indexes
+// and marking untouched dependent views stale.
+func (db *DB) applyPlan(pl *plan) error {
+	names := make([]string, 0, len(pl.ins))
+	for n := range pl.ins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if common := pl.ins[n].Intersect(pl.del[n]); !common.Empty() {
+			return fmt.Errorf("engine: contradictory updates on %q: tuple %s both inserted and deleted",
+				n, common.Tuples()[0])
+		}
+	}
+	changed := make(map[string]bool)
+	keep := make(map[string]bool)
+	for _, n := range names {
+		p := datalog.Pred(n)
+		pl.del[n].Each(func(t value.Tuple) { db.store.Delete(p, t) })
+		pl.ins[n].Each(func(t value.Tuple) { db.store.Insert(p, t) })
+		changed[n] = true
+		if _, isView := db.views[n]; isView {
+			keep[n] = true // maintained exactly by the plan
+		}
+	}
+	db.markDependentsDirty(changed, keep)
+	return nil
+}
+
+// --- row matching ---------------------------------------------------------
+
+// colIndex resolves a column name to its position.
+func colIndex(decl *datalog.RelDecl, col string) (int, error) {
+	for i, a := range decl.Attrs {
+		if a.Name == col {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: relation %q has no column %q", decl.Name, col)
+}
+
+// rowMatches evaluates the conditions against one row.
+func rowMatches(decl *datalog.RelDecl, row value.Tuple, where []Condition) (bool, error) {
+	for _, c := range where {
+		i, err := colIndex(decl, c.Col)
+		if err != nil {
+			return false, err
+		}
+		if !c.Op.Eval(row[i], c.Val) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// matchRows returns the stored rows of a relation matching the conditions,
+// probing a hash index on the equality columns when possible.
+func (db *DB) matchRows(name string, decl *datalog.RelDecl, where []Condition) ([]value.Tuple, error) {
+	var eqPos []int
+	var eqVals []value.Value
+	for _, c := range where {
+		if c.Op != datalog.OpEq {
+			continue
+		}
+		i, err := colIndex(decl, c.Col)
+		if err != nil {
+			return nil, err
+		}
+		eqPos = append(eqPos, i)
+		eqVals = append(eqVals, c.Val)
+	}
+	p := datalog.Pred(name)
+	var candidates []value.Tuple
+	if len(eqPos) > 0 {
+		// Deduplicate positions for the index key (repeated columns in the
+		// WHERE clause are legal but would corrupt the mask).
+		type pv struct {
+			pos int
+			val value.Value
+		}
+		seen := make(map[int]pv)
+		ordered := eqPos[:0:0]
+		for k, pos := range eqPos {
+			if prev, ok := seen[pos]; ok {
+				if !prev.val.Equal(eqVals[k]) {
+					return nil, nil // contradictory equalities match nothing
+				}
+				continue
+			}
+			seen[pos] = pv{pos, eqVals[k]}
+			ordered = append(ordered, pos)
+		}
+		sort.Ints(ordered)
+		key := make(value.Tuple, len(ordered))
+		for k, pos := range ordered {
+			key[k] = seen[pos].val
+		}
+		candidates = db.store.Lookup(p, ordered, key)
+	} else {
+		candidates = db.store.RelOrEmpty(p, decl.Arity()).Tuples()
+	}
+	var out []value.Tuple
+	for _, r := range candidates {
+		ok, err := rowMatches(decl, r, where)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// applyAssignments produces the updated versions of rows under SET clauses.
+func applyAssignments(decl *datalog.RelDecl, rows []value.Tuple, set []Assignment) ([]value.Tuple, error) {
+	out := make([]value.Tuple, 0, len(rows))
+	for _, r := range rows {
+		nr := r.Clone()
+		for _, a := range set {
+			i, err := colIndex(decl, a.Col)
+			if err != nil {
+				return nil, err
+			}
+			nr[i] = a.Val
+		}
+		out = append(out, nr)
+	}
+	return out, nil
+}

@@ -1,0 +1,365 @@
+// Package engine is the relational execution substrate standing in for
+// PostgreSQL in the paper's experiments (§6.1): an in-memory RDBMS with
+// base tables, materialized updatable views, DML statements, transactions
+// (Algorithm 2's view-delta derivation), and INSTEAD OF trigger semantics.
+//
+// Registering a view installs its validated putback strategy as the
+// trigger. A view update derives the view delta ΔV from the DML statements,
+// checks the integrity constraints, evaluates the strategy (the original
+// putdelta, or the incrementalized ∂put of Section 5), and applies the
+// source deltas. A source that is itself a view cascades the propagation —
+// the view-over-view updating of the §3.3 case study (residents1962 updates
+// residents, which updates the base tables).
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"birds/internal/core"
+	"birds/internal/datalog"
+	"birds/internal/eval"
+	"birds/internal/sat"
+	"birds/internal/value"
+)
+
+// DB is an in-memory relational database with updatable views. All public
+// methods are safe for concurrent use; transactions serialize on one lock
+// (reads too, because reading a stale view rematerializes it).
+type DB struct {
+	mu     sync.Mutex
+	store  *eval.Database
+	tables map[string]*datalog.RelDecl
+	views  map[string]*View
+	dirty  map[string]bool // views whose materialization is stale
+}
+
+// View is a registered updatable view: its schema, validated strategy
+// (the INSTEAD OF trigger), derived get, and compiled evaluators.
+type View struct {
+	Decl        *datalog.RelDecl
+	Strategy    *core.Putback
+	Get         []*datalog.Rule
+	Incremental bool
+
+	getEval  *eval.Evaluator
+	incEval  *eval.Evaluator // ∂put (nil unless Incremental)
+	consEval *eval.Evaluator // delta-substituted constraints (nil unless Incremental)
+	sources  []string        // source relation names (tables or views)
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{
+		store:  eval.NewDatabase(),
+		tables: make(map[string]*datalog.RelDecl),
+		views:  make(map[string]*View),
+		dirty:  make(map[string]bool),
+	}
+}
+
+// CreateTable registers a base table.
+func (db *DB) CreateTable(decl *datalog.RelDecl) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[decl.Name]; ok {
+		return fmt.Errorf("engine: table %q already exists", decl.Name)
+	}
+	if _, ok := db.views[decl.Name]; ok {
+		return fmt.Errorf("engine: %q already exists as a view", decl.Name)
+	}
+	db.tables[decl.Name] = decl
+	db.store.Ensure(datalog.Pred(decl.Name), decl.Arity())
+	return nil
+}
+
+// ViewOptions configures CreateView.
+type ViewOptions struct {
+	// ExpectedGet optionally provides the intended view definition; the
+	// validator confirms it or derives one.
+	ExpectedGet []*datalog.Rule
+	// Incremental installs the ∂put program of Section 5 instead of the
+	// original putdelta.
+	Incremental bool
+	// SkipValidation trusts the strategy without running Algorithm 1
+	// (ExpectedGet is then required). Used by benchmarks that validate
+	// separately.
+	SkipValidation bool
+	// Oracle overrides the validation oracle configuration.
+	Oracle *sat.Config
+}
+
+// CreateView parses, validates and registers an updatable view from a
+// putback program, then materializes it.
+func (db *DB) CreateView(src string, opts ViewOptions) (*View, error) {
+	prog, err := datalog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.CreateViewFromProgram(prog, opts)
+}
+
+// CreateViewFromProgram is CreateView for an already-parsed program.
+func (db *DB) CreateViewFromProgram(prog *datalog.Program, opts ViewOptions) (*View, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if prog.View == nil {
+		return nil, fmt.Errorf("engine: putback program must declare a view")
+	}
+	name := prog.View.Name
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("engine: %q already exists as a table", name)
+	}
+	if _, ok := db.views[name]; ok {
+		return nil, fmt.Errorf("engine: view %q already exists", name)
+	}
+	for _, s := range prog.Sources {
+		existing := db.relDecl(s.Name)
+		if existing == nil {
+			return nil, fmt.Errorf("engine: source relation %q does not exist", s.Name)
+		}
+		if existing.Arity() != s.Arity() {
+			return nil, fmt.Errorf("engine: source %q has arity %d, program declares %d",
+				s.Name, existing.Arity(), s.Arity())
+		}
+	}
+
+	pb, err := core.NewPutback(prog)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{Decl: prog.View, Strategy: pb, Incremental: opts.Incremental}
+	for _, s := range prog.Sources {
+		v.sources = append(v.sources, s.Name)
+	}
+
+	if opts.SkipValidation {
+		if opts.ExpectedGet == nil {
+			return nil, fmt.Errorf("engine: SkipValidation requires ExpectedGet")
+		}
+		v.Get = opts.ExpectedGet
+	} else {
+		vopts := core.DefaultOptions()
+		if opts.Oracle != nil {
+			vopts.Oracle = *opts.Oracle
+		}
+		res, err := core.Validate(pb, opts.ExpectedGet, vopts)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Valid {
+			return nil, fmt.Errorf("engine: invalid update strategy for view %q: %w", name, res.Failure)
+		}
+		v.Get = res.Get
+	}
+
+	if v.getEval, err = eval.New(core.GetProgram(prog, v.Get)); err != nil {
+		return nil, fmt.Errorf("engine: get program for %q: %w", name, err)
+	}
+	if opts.Incremental {
+		inc, err := core.Incrementalize(prog)
+		if err != nil {
+			return nil, err
+		}
+		if v.incEval, err = eval.New(inc); err != nil {
+			return nil, fmt.Errorf("engine: ∂put for %q: %w", name, err)
+		}
+		if v.consEval, err = deltaConstraintEvaluator(prog); err != nil {
+			return nil, err
+		}
+	}
+
+	db.views[name] = v
+	db.dirty[name] = true
+	if err := db.refresh(name); err != nil {
+		delete(db.views, name)
+		return nil, err
+	}
+	return v, nil
+}
+
+// deltaConstraintEvaluator builds an evaluator for the constraints with the
+// view atom substituted by the insertion delta +v, so that admissibility of
+// an update is checked against the inserted tuples only (deletions cannot
+// introduce a violation of a linear-view constraint, and previously present
+// tuples were checked by earlier transactions).
+func deltaConstraintEvaluator(prog *datalog.Program) (*eval.Evaluator, error) {
+	view := prog.View.Name
+	p := &datalog.Program{Sources: prog.Sources, View: prog.View}
+	needed := make(map[datalog.PredSym]bool)
+	for _, r := range prog.Constraints() {
+		nr := r.Clone()
+		for i := range nr.Body {
+			l := &nr.Body[i]
+			if l.Atom == nil {
+				continue
+			}
+			if !l.Neg && l.Atom.Pred == datalog.Pred(view) {
+				l.Atom.Pred = datalog.Ins(view)
+			} else {
+				needed[l.Atom.Pred] = true
+			}
+		}
+		p.Rules = append(p.Rules, nr)
+	}
+	// Pull in only the auxiliary rules the constraint bodies actually
+	// reach; copying every auxiliary rule would re-materialize relations
+	// over the full base tables on every update and destroy the O(ΔV)
+	// bound the incremental mode exists for.
+	for changed := true; changed; {
+		changed = false
+		for _, r := range prog.NonConstraintRules() {
+			if r.Head.Pred.IsDelta() || !needed[r.Head.Pred] {
+				continue
+			}
+			for _, l := range r.Body {
+				if l.Atom != nil && !needed[l.Atom.Pred] {
+					needed[l.Atom.Pred] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for _, r := range prog.NonConstraintRules() {
+		if !r.Head.Pred.IsDelta() && needed[r.Head.Pred] {
+			p.Rules = append(p.Rules, r.Clone())
+		}
+	}
+	return eval.New(p)
+}
+
+// relDecl returns the declaration of a table or view, or nil.
+func (db *DB) relDecl(name string) *datalog.RelDecl {
+	if d, ok := db.tables[name]; ok {
+		return d
+	}
+	if v, ok := db.views[name]; ok {
+		return v.Decl
+	}
+	return nil
+}
+
+// IsView reports whether name is a registered view.
+func (db *DB) IsView(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, ok := db.views[name]
+	return ok
+}
+
+// View returns the registered view, or nil.
+func (db *DB) View(name string) *View {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.views[name]
+}
+
+// Rel returns the current contents of a table or view (recomputing a stale
+// view first). The returned relation must not be mutated.
+func (db *DB) Rel(name string) (*value.Relation, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return db.store.RelOrEmpty(datalog.Pred(name), db.tables[name].Arity()), nil
+	}
+	if _, ok := db.views[name]; ok {
+		if db.dirty[name] {
+			if err := db.refresh(name); err != nil {
+				return nil, err
+			}
+		}
+		return db.store.RelOrEmpty(datalog.Pred(name), db.views[name].Decl.Arity()), nil
+	}
+	return nil, fmt.Errorf("engine: unknown relation %q", name)
+}
+
+// refresh rematerializes a view (and, first, its stale sources).
+func (db *DB) refresh(name string) error {
+	v := db.views[name]
+	for _, s := range v.sources {
+		if db.dirty[s] {
+			if err := db.refresh(s); err != nil {
+				return err
+			}
+		}
+	}
+	rel, err := v.getEval.EvalQuery(db.store, datalog.Pred(name))
+	if err != nil {
+		return err
+	}
+	db.store.Set(datalog.Pred(name), rel.Clone())
+	db.dirty[name] = false
+	return nil
+}
+
+// markDependentsDirty flags every view that transitively reads any of the
+// changed relations, except those in keep (already maintained exactly).
+func (db *DB) markDependentsDirty(changed map[string]bool, keep map[string]bool) {
+	for progress := true; progress; {
+		progress = false
+		for name, v := range db.views {
+			if db.dirty[name] || keep[name] {
+				continue
+			}
+			for _, s := range v.sources {
+				if changed[s] || db.dirty[s] {
+					db.dirty[name] = true
+					changed[name] = true
+					progress = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// LoadTable bulk-inserts rows into a base table (marking dependent views
+// stale).
+func (db *DB) LoadTable(name string, rows []value.Tuple) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	decl, ok := db.tables[name]
+	if !ok {
+		return fmt.Errorf("engine: unknown table %q", name)
+	}
+	p := datalog.Pred(name)
+	for _, r := range rows {
+		if len(r) != decl.Arity() {
+			return fmt.Errorf("engine: row arity %d does not match table %q arity %d", len(r), name, decl.Arity())
+		}
+		db.store.Insert(p, r)
+	}
+	changed := map[string]bool{name: true}
+	db.markDependentsDirty(changed, nil)
+	return nil
+}
+
+// Relations lists the registered base tables and views, sorted, with a
+// kind marker ("table" or "view").
+func (db *DB) Relations() []RelationInfo {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []RelationInfo
+	for name, d := range db.tables {
+		out = append(out, RelationInfo{Name: name, Kind: "table", Decl: d})
+	}
+	for name, v := range db.views {
+		out = append(out, RelationInfo{Name: name, Kind: "view", Decl: v.Decl, Incremental: v.Incremental})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RelationInfo describes one registered relation.
+type RelationInfo struct {
+	Name        string
+	Kind        string // "table" or "view"
+	Decl        *datalog.RelDecl
+	Incremental bool // views only: running the ∂put program
+}
+
+// Store exposes the underlying evaluation database for benchmarks and
+// tests. It is not synchronized; do not use it concurrently with other
+// operations.
+func (db *DB) Store() *eval.Database { return db.store }

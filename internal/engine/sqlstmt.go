@@ -1,0 +1,374 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"birds/internal/datalog"
+	"birds/internal/value"
+)
+
+// This file provides the SQL front end of the engine: the DML statements
+// the paper's trigger programs respond to (INSERT / DELETE / UPDATE, §6.1
+// and Appendix D) parsed from SQL text, including multi-statement
+// transactions (BEGIN ...; END).
+//
+// Supported grammar (case-insensitive keywords; a trailing semicolon per
+// statement):
+//
+//	INSERT INTO t VALUES (1, 'a'), (2, 'b');
+//	DELETE FROM t WHERE a = 1 AND b > 'x';
+//	UPDATE t SET a = 2, b = 'y' WHERE c <> 3;
+//	BEGIN; <statements> END;
+
+// ParseSQL parses a sequence of DML statements. BEGIN/END markers are
+// accepted and ignored (Exec always runs its statements as one
+// transaction).
+func ParseSQL(src string) ([]Statement, error) {
+	toks, err := sqlLex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	var out []Statement
+	for !p.eof() {
+		if p.peekKw("BEGIN") || p.peekKw("END") {
+			p.next()
+			p.accept(";")
+			continue
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st...)
+		if !p.accept(";") && !p.eof() {
+			return nil, fmt.Errorf("engine: expected ';' near %q", p.cur())
+		}
+	}
+	return out, nil
+}
+
+// ExecSQL parses and executes DML statements as one transaction.
+func (db *DB) ExecSQL(src string) error {
+	stmts, err := ParseSQL(src)
+	if err != nil {
+		return err
+	}
+	return db.Exec(stmts...)
+}
+
+// --- lexer -----------------------------------------------------------------
+
+func sqlLex(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(' || c == ')' || c == ',' || c == ';' || c == '=':
+			toks = append(toks, string(c))
+			i++
+		case c == '<':
+			if i+1 < len(src) && (src[i+1] == '>' || src[i+1] == '=') {
+				toks = append(toks, src[i:i+2])
+				i += 2
+			} else {
+				toks = append(toks, "<")
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, ">=")
+				i += 2
+			} else {
+				toks = append(toks, ">")
+				i++
+			}
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, "<>")
+				i += 2
+			} else {
+				return nil, fmt.Errorf("engine: unexpected '!' in SQL")
+			}
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(src) {
+					return nil, fmt.Errorf("engine: unterminated SQL string literal")
+				}
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, "'"+sb.String())
+			i = j + 1
+		case c == '-' || unicode.IsDigit(c):
+			j := i + 1
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("engine: unexpected character %q in SQL", c)
+		}
+	}
+	return toks, nil
+}
+
+// --- parser ----------------------------------------------------------------
+
+type sqlParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *sqlParser) eof() bool { return p.pos >= len(p.toks) }
+func (p *sqlParser) cur() string {
+	if p.eof() {
+		return "<end>"
+	}
+	return p.toks[p.pos]
+}
+func (p *sqlParser) next() string {
+	t := p.cur()
+	p.pos++
+	return t
+}
+func (p *sqlParser) peekKw(kw string) bool {
+	return !p.eof() && strings.EqualFold(p.toks[p.pos], kw)
+}
+func (p *sqlParser) acceptKw(kw string) bool {
+	if p.peekKw(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+func (p *sqlParser) accept(tok string) bool {
+	if !p.eof() && p.toks[p.pos] == tok {
+		p.pos++
+		return true
+	}
+	return false
+}
+func (p *sqlParser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return fmt.Errorf("engine: expected %s, found %q", kw, p.cur())
+	}
+	return nil
+}
+func (p *sqlParser) expect(tok string) error {
+	if !p.accept(tok) {
+		return fmt.Errorf("engine: expected %q, found %q", tok, p.cur())
+	}
+	return nil
+}
+
+func (p *sqlParser) ident() (string, error) {
+	t := p.cur()
+	if p.eof() || !identLike(t) {
+		return "", fmt.Errorf("engine: expected identifier, found %q", t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func identLike(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := rune(s[0])
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func (p *sqlParser) literal() (value.Value, error) {
+	t := p.cur()
+	switch {
+	case p.eof():
+		return value.Value{}, fmt.Errorf("engine: expected a literal")
+	case strings.HasPrefix(t, "'"):
+		p.pos++
+		return value.Str(t[1:]), nil
+	case t == "-" || t[0] == '-' || unicode.IsDigit(rune(t[0])):
+		p.pos++
+		if strings.Contains(t, ".") {
+			f, err := strconv.ParseFloat(t, 64)
+			if err != nil {
+				return value.Value{}, fmt.Errorf("engine: bad numeric literal %q", t)
+			}
+			return value.Float(f), nil
+		}
+		n, err := strconv.ParseInt(t, 10, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("engine: bad numeric literal %q", t)
+		}
+		return value.Int(n), nil
+	case strings.EqualFold(t, "TRUE"):
+		p.pos++
+		return value.Bool(true), nil
+	case strings.EqualFold(t, "FALSE"):
+		p.pos++
+		return value.Bool(false), nil
+	case strings.EqualFold(t, "NULL"):
+		p.pos++
+		return value.Null(), nil
+	default:
+		return value.Value{}, fmt.Errorf("engine: expected a literal, found %q", t)
+	}
+}
+
+// statement parses one DML statement; INSERT with a multi-row VALUES list
+// expands into several statements.
+func (p *sqlParser) statement() ([]Statement, error) {
+	switch {
+	case p.acceptKw("INSERT"):
+		if err := p.expectKw("INTO"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("VALUES"); err != nil {
+			return nil, err
+		}
+		var out []Statement
+		for {
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			var row value.Tuple
+			for {
+				v, err := p.literal()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, v)
+				if p.accept(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			out = append(out, Statement{Kind: StmtInsert, Target: table, Row: row})
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+		return out, nil
+
+	case p.acceptKw("DELETE"):
+		if err := p.expectKw("FROM"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		where, err := p.whereClause()
+		if err != nil {
+			return nil, err
+		}
+		return []Statement{{Kind: StmtDelete, Target: table, Where: where}}, nil
+
+	case p.acceptKw("UPDATE"):
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("SET"); err != nil {
+			return nil, err
+		}
+		var set []Assignment
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			set = append(set, Assignment{Col: col, Val: v})
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+		where, err := p.whereClause()
+		if err != nil {
+			return nil, err
+		}
+		return []Statement{{Kind: StmtUpdate, Target: table, Set: set, Where: where}}, nil
+	}
+	return nil, fmt.Errorf("engine: expected INSERT, DELETE or UPDATE, found %q", p.cur())
+}
+
+// whereClause parses an optional WHERE with AND-joined conditions.
+func (p *sqlParser) whereClause() ([]Condition, error) {
+	if !p.acceptKw("WHERE") {
+		return nil, nil
+	}
+	var out []Condition
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var op datalog.CmpOp
+		switch p.next() {
+		case "=":
+			op = datalog.OpEq
+		case "<>":
+			op = datalog.OpNe
+		case "<":
+			op = datalog.OpLt
+		case ">":
+			op = datalog.OpGt
+		case "<=":
+			op = datalog.OpLe
+		case ">=":
+			op = datalog.OpGe
+		default:
+			return nil, fmt.Errorf("engine: expected comparison operator in WHERE")
+		}
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Condition{Col: col, Op: op, Val: v})
+		if p.acceptKw("AND") {
+			continue
+		}
+		break
+	}
+	return out, nil
+}

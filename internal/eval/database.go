@@ -1,0 +1,256 @@
+// Package eval implements bottom-up stratified evaluation of the
+// nonrecursive Datalog dialect of the paper over in-memory relations,
+// including delta-relation application S ⊕ ΔS (§3.1).
+//
+// Rule bodies are compiled to join plans: literals are greedily reordered so
+// that bound-variable lookups happen through hash indexes. Indexes live on
+// the Database and are maintained incrementally across updates, which is
+// what lets incrementalized strategies (∂put, Section 5) run in time
+// proportional to the view delta rather than the base tables — the effect
+// Figure 6 measures.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"birds/internal/datalog"
+	"birds/internal/value"
+)
+
+// Database maps predicate symbols to relations. It also owns the hash
+// indexes built for join plans; indexes are maintained incrementally by
+// Insert and Delete and dropped by Set.
+type Database struct {
+	rels    map[datalog.PredSym]*value.Relation
+	indexes map[indexID]*hashIndex
+}
+
+// indexID identifies an index by predicate and key positions.
+type indexID struct {
+	pred datalog.PredSym
+	mask string // comma-joined positions, e.g. "0,2"
+}
+
+// hashIndex maps the projection of a tuple onto key positions to the tuples
+// having that projection.
+type hashIndex struct {
+	positions []int
+	buckets   map[string][]value.Tuple
+}
+
+func maskOf(positions []int) string {
+	parts := make([]string, len(positions))
+	for i, p := range positions {
+		parts[i] = fmt.Sprintf("%d", p)
+	}
+	return strings.Join(parts, ",")
+}
+
+func projectKey(t value.Tuple, positions []int) string {
+	proj := make(value.Tuple, len(positions))
+	for i, p := range positions {
+		proj[i] = t[p]
+	}
+	return proj.Key()
+}
+
+func (ix *hashIndex) add(t value.Tuple) {
+	k := projectKey(t, ix.positions)
+	ix.buckets[k] = append(ix.buckets[k], t)
+}
+
+func (ix *hashIndex) remove(t value.Tuple) {
+	k := projectKey(t, ix.positions)
+	bucket := ix.buckets[k]
+	for i, u := range bucket {
+		if u.Equal(t) {
+			bucket[i] = bucket[len(bucket)-1]
+			ix.buckets[k] = bucket[:len(bucket)-1]
+			return
+		}
+	}
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{
+		rels:    make(map[datalog.PredSym]*value.Relation),
+		indexes: make(map[indexID]*hashIndex),
+	}
+}
+
+// Rel returns the relation for p, or nil if absent.
+func (db *Database) Rel(p datalog.PredSym) *value.Relation { return db.rels[p] }
+
+// RelOrEmpty returns the relation for p, or an empty relation of the given
+// arity if absent (without storing it).
+func (db *Database) RelOrEmpty(p datalog.PredSym, arity int) *value.Relation {
+	if r := db.rels[p]; r != nil {
+		return r
+	}
+	return value.NewRelation(arity)
+}
+
+// Set installs rel as the relation for p, dropping any indexes on p.
+func (db *Database) Set(p datalog.PredSym, rel *value.Relation) {
+	db.rels[p] = rel
+	for id := range db.indexes {
+		if id.pred == p {
+			delete(db.indexes, id)
+		}
+	}
+}
+
+// Ensure returns the relation for p, creating an empty one of the given
+// arity if absent.
+func (db *Database) Ensure(p datalog.PredSym, arity int) *value.Relation {
+	if r := db.rels[p]; r != nil {
+		return r
+	}
+	r := value.NewRelation(arity)
+	db.rels[p] = r
+	return r
+}
+
+// Insert adds t to p's relation, maintaining indexes. It reports whether
+// the database changed.
+func (db *Database) Insert(p datalog.PredSym, t value.Tuple) bool {
+	r := db.rels[p]
+	if r == nil {
+		r = value.NewRelation(len(t))
+		db.rels[p] = r
+	}
+	if !r.Add(t) {
+		return false
+	}
+	for id, ix := range db.indexes {
+		if id.pred == p {
+			ix.add(t)
+		}
+	}
+	return true
+}
+
+// Delete removes t from p's relation, maintaining indexes. It reports
+// whether the database changed.
+func (db *Database) Delete(p datalog.PredSym, t value.Tuple) bool {
+	r := db.rels[p]
+	if r == nil || !r.Remove(t) {
+		return false
+	}
+	for id, ix := range db.indexes {
+		if id.pred == p {
+			ix.remove(t)
+		}
+	}
+	return true
+}
+
+// Index returns (building if needed) a maintained hash index on p keyed by
+// the given positions.
+func (db *Database) Index(p datalog.PredSym, positions []int) *hashIndex {
+	id := indexID{pred: p, mask: maskOf(positions)}
+	if ix := db.indexes[id]; ix != nil {
+		return ix
+	}
+	ix := &hashIndex{positions: positions, buckets: make(map[string][]value.Tuple)}
+	if r := db.rels[p]; r != nil {
+		r.Each(func(t value.Tuple) { ix.add(t) })
+	}
+	db.indexes[id] = ix
+	return ix
+}
+
+// Lookup returns the tuples of p whose projection on positions equals key.
+func (db *Database) Lookup(p datalog.PredSym, positions []int, key value.Tuple) []value.Tuple {
+	return db.Index(p, positions).buckets[key.Key()]
+}
+
+// IndexStats describes one live index, for diagnostics.
+type IndexStats struct {
+	Pred      datalog.PredSym
+	Positions string
+	Buckets   int
+	MaxBucket int
+}
+
+// Indexes reports the live indexes and their bucket shapes (diagnostics).
+func (db *Database) Indexes() []IndexStats {
+	var out []IndexStats
+	for id, ix := range db.indexes {
+		max := 0
+		for _, b := range ix.buckets {
+			if len(b) > max {
+				max = len(b)
+			}
+		}
+		out = append(out, IndexStats{Pred: id.pred, Positions: id.mask, Buckets: len(ix.buckets), MaxBucket: max})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pred != out[j].Pred {
+			return out[i].Pred.String() < out[j].Pred.String()
+		}
+		return out[i].Positions < out[j].Positions
+	})
+	return out
+}
+
+// Preds returns the predicates present, sorted for determinism.
+func (db *Database) Preds() []datalog.PredSym {
+	out := make([]datalog.PredSym, 0, len(db.rels))
+	for p := range db.rels {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Delta < out[j].Delta
+	})
+	return out
+}
+
+// Clone returns a deep copy of the database (indexes are not copied; they
+// rebuild lazily).
+func (db *Database) Clone() *Database {
+	out := NewDatabase()
+	for p, r := range db.rels {
+		out.rels[p] = r.Clone()
+	}
+	return out
+}
+
+// Equal reports whether two databases hold the same relations for the given
+// predicates.
+func (db *Database) Equal(other *Database, preds []datalog.PredSym) bool {
+	for _, p := range preds {
+		a, b := db.rels[p], other.rels[p]
+		switch {
+		case a == nil && b == nil:
+		case a == nil:
+			if !b.Empty() {
+				return false
+			}
+		case b == nil:
+			if !a.Empty() {
+				return false
+			}
+		default:
+			if !a.Equal(b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the database deterministically, for tests and debugging.
+func (db *Database) String() string {
+	var b strings.Builder
+	for _, p := range db.Preds() {
+		fmt.Fprintf(&b, "%s = %s\n", p, db.rels[p])
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"fmt"
+
+	"birds/internal/datalog"
+	"birds/internal/value"
+)
+
+// ContradictionError reports a well-definedness violation at runtime: the
+// putback program derived both +r(t) and -r(t) for the same tuple t
+// (Definition 3.1).
+type ContradictionError struct {
+	Relation string
+	Tuple    value.Tuple
+}
+
+func (e *ContradictionError) Error() string {
+	return fmt.Sprintf("eval: contradictory delta on %s: tuple %s is both inserted and deleted",
+		e.Relation, e.Tuple)
+}
+
+// CheckNonContradictory verifies that for every source relation the derived
+// insertion and deletion sets are disjoint (the ΔS of §3.1 must be
+// non-contradictory before it can be applied).
+func CheckNonContradictory(db *Database, sources []*datalog.RelDecl) error {
+	for _, s := range sources {
+		ins := db.Rel(datalog.Ins(s.Name))
+		del := db.Rel(datalog.Del(s.Name))
+		if ins == nil || del == nil {
+			continue
+		}
+		small, other := ins, del
+		if del.Len() < ins.Len() {
+			small, other = del, ins
+		}
+		var bad value.Tuple
+		small.EachUntil(func(t value.Tuple) bool {
+			if other.Contains(t) {
+				bad = t
+				return false
+			}
+			return true
+		})
+		if bad != nil {
+			return &ContradictionError{Relation: s.Name, Tuple: bad}
+		}
+	}
+	return nil
+}
+
+// ApplyDeltas applies the evaluated delta relations to the source relations
+// in place: Ri ← (Ri \ Δ−Ri) ∪ Δ+Ri. It first checks non-contradiction.
+// Index structures on db are maintained incrementally. It returns the
+// number of tuples actually deleted and inserted.
+func ApplyDeltas(db *Database, sources []*datalog.RelDecl) (deleted, inserted int, err error) {
+	if err := CheckNonContradictory(db, sources); err != nil {
+		return 0, 0, err
+	}
+	for _, s := range sources {
+		p := datalog.Pred(s.Name)
+		db.Ensure(p, s.Arity())
+		if del := db.Rel(datalog.Del(s.Name)); del != nil {
+			del.Each(func(t value.Tuple) {
+				if db.Delete(p, t) {
+					deleted++
+				}
+			})
+		}
+		if ins := db.Rel(datalog.Ins(s.Name)); ins != nil {
+			ins.Each(func(t value.Tuple) {
+				if db.Insert(p, t) {
+					inserted++
+				}
+			})
+		}
+	}
+	return deleted, inserted, nil
+}
+
+// SnapshotSources returns deep copies of the source relations of db, for
+// comparing database states around an update (e.g. the GetPut check).
+func SnapshotSources(db *Database, sources []*datalog.RelDecl) map[string]*value.Relation {
+	out := make(map[string]*value.Relation, len(sources))
+	for _, s := range sources {
+		out[s.Name] = db.RelOrEmpty(datalog.Pred(s.Name), s.Arity()).Clone()
+	}
+	return out
+}
+
+// SourcesEqual reports whether the source relations of db match a snapshot.
+func SourcesEqual(db *Database, sources []*datalog.RelDecl, snap map[string]*value.Relation) bool {
+	for _, s := range sources {
+		if !db.RelOrEmpty(datalog.Pred(s.Name), s.Arity()).Equal(snap[s.Name]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ClearDeltas resets the delta relations of every source to empty, to be
+// called between successive putback evaluations.
+func ClearDeltas(db *Database, sources []*datalog.RelDecl) {
+	for _, s := range sources {
+		db.Set(datalog.Ins(s.Name), value.NewRelation(s.Arity()))
+		db.Set(datalog.Del(s.Name), value.NewRelation(s.Arity()))
+	}
+}
+
+// Put runs one full putback step over db: evaluate the compiled putdelta
+// program, check non-contradiction, and apply the deltas to the sources.
+// db must contain the source relations and the (updated) view relation.
+func Put(e *Evaluator, db *Database, sources []*datalog.RelDecl) error {
+	if err := e.Eval(db); err != nil {
+		return err
+	}
+	if _, _, err := ApplyDeltas(db, sources); err != nil {
+		return err
+	}
+	return nil
+}

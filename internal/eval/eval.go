@@ -1,0 +1,494 @@
+package eval
+
+import (
+	"fmt"
+
+	"birds/internal/analysis"
+	"birds/internal/datalog"
+	"birds/internal/value"
+)
+
+// Evaluator is a compiled, reusable bottom-up evaluator for a nonrecursive
+// Datalog program. Compile once with New, then call Eval repeatedly as the
+// EDB changes. An Evaluator (and the Database it runs over) is not safe
+// for concurrent use; callers serialize (the engine holds one lock per
+// transaction).
+type Evaluator struct {
+	prog        *datalog.Program
+	order       []datalog.PredSym
+	rules       map[datalog.PredSym][]*compiledRule
+	constraints []*compiledRule
+	arities     map[datalog.PredSym]int
+}
+
+// New stratifies and compiles the program. It fails on recursive or unsafe
+// programs and on head arity conflicts.
+func New(prog *datalog.Program) (*Evaluator, error) {
+	order, err := analysis.Stratify(prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := analysis.CheckSafety(prog); err != nil {
+		return nil, err
+	}
+	e := &Evaluator{
+		prog:    prog,
+		order:   order,
+		rules:   make(map[datalog.PredSym][]*compiledRule),
+		arities: make(map[datalog.PredSym]int),
+	}
+	for _, r := range prog.Rules {
+		cr, err := compileRule(r)
+		if err != nil {
+			return nil, err
+		}
+		if r.IsConstraint() {
+			e.constraints = append(e.constraints, cr)
+			continue
+		}
+		h := r.Head.Pred
+		if a, ok := e.arities[h]; ok && a != r.Head.Arity() {
+			return nil, fmt.Errorf("eval: predicate %s defined with arities %d and %d", h, a, r.Head.Arity())
+		}
+		e.arities[h] = r.Head.Arity()
+		e.rules[h] = append(e.rules[h], cr)
+	}
+	return e, nil
+}
+
+// Program returns the compiled program.
+func (e *Evaluator) Program() *datalog.Program { return e.prog }
+
+// IDBOrder returns the bottom-up evaluation order of IDB predicates.
+func (e *Evaluator) IDBOrder() []datalog.PredSym { return e.order }
+
+// Eval computes every IDB relation bottom-up and stores the results in db
+// (replacing any previous IDB contents). The EDB relations of db are read
+// but not modified.
+func (e *Evaluator) Eval(db *Database) error {
+	for _, sym := range e.order {
+		out := value.NewRelation(e.arities[sym])
+		for _, cr := range e.rules[sym] {
+			if err := cr.run(db, func(t value.Tuple) bool {
+				out.Add(t)
+				return true
+			}); err != nil {
+				return err
+			}
+		}
+		db.Set(sym, out)
+	}
+	return nil
+}
+
+// EvalQuery evaluates the program and returns the relation for goal.
+func (e *Evaluator) EvalQuery(db *Database, goal datalog.PredSym) (*value.Relation, error) {
+	if err := e.Eval(db); err != nil {
+		return nil, err
+	}
+	if r := db.Rel(goal); r != nil {
+		return r, nil
+	}
+	return value.NewRelation(e.arities[goal]), nil
+}
+
+// Violations evaluates the integrity constraints over db (IDB relations
+// must already be evaluated if constraints mention them) and returns the
+// violated constraint rules.
+func (e *Evaluator) Violations(db *Database) ([]*datalog.Rule, error) {
+	var out []*datalog.Rule
+	for _, cr := range e.constraints {
+		found := false
+		if err := cr.run(db, func(value.Tuple) bool {
+			found = true
+			return false // one witness is enough
+		}); err != nil {
+			return nil, err
+		}
+		if found {
+			out = append(out, cr.rule)
+		}
+	}
+	return out, nil
+}
+
+// --- rule compilation -------------------------------------------------
+
+// stepKind discriminates plan steps.
+type stepKind uint8
+
+const (
+	stepScan    stepKind = iota // iterate/probe a positive atom
+	stepNegAtom                 // check a negated atom is unmatched
+	stepBuiltin                 // evaluate or bind through a built-in
+)
+
+// argSlot describes one atom argument in a compiled step.
+type argSlot struct {
+	anon  bool
+	isVar bool
+	v     int         // env slot when isVar
+	c     value.Value // constant otherwise
+}
+
+// step is one operation of a rule plan.
+type step struct {
+	kind stepKind
+	// scan / negated atom:
+	pred    datalog.PredSym
+	args    []argSlot
+	keyPos  []int // positions bound at entry (probe key); nil = full scan
+	fullKey bool  // negation with every position bound: direct Contains
+	// builtin:
+	neg    bool
+	op     datalog.CmpOp
+	left   argSlot
+	right  argSlot
+	bindLt bool // equality binds the left slot
+	bindRt bool // equality binds the right slot
+}
+
+// compiledRule is an executable plan for one rule.
+type compiledRule struct {
+	rule  *datalog.Rule
+	nvars int
+	steps []step
+	head  []argSlot // nil for constraints
+}
+
+// varIndexer assigns dense indexes to variable names.
+type varIndexer struct {
+	idx map[string]int
+}
+
+func (vi *varIndexer) slot(name string) int {
+	if i, ok := vi.idx[name]; ok {
+		return i
+	}
+	i := len(vi.idx)
+	vi.idx[name] = i
+	return i
+}
+
+func termSlot(vi *varIndexer, t datalog.Term) argSlot {
+	switch t.Kind {
+	case datalog.TermAnon:
+		return argSlot{anon: true}
+	case datalog.TermVar:
+		return argSlot{isVar: true, v: vi.slot(t.Var)}
+	default:
+		return argSlot{c: t.Const}
+	}
+}
+
+// compileRule orders the body literals greedily so every step's inputs are
+// bound when it runs, and precomputes probe-key positions for hash lookups.
+func compileRule(r *datalog.Rule) (*compiledRule, error) {
+	vi := &varIndexer{idx: make(map[string]int)}
+	cr := &compiledRule{rule: r}
+
+	type pending struct {
+		lit datalog.Literal
+	}
+	remaining := make([]pending, len(r.Body))
+	for i, l := range r.Body {
+		remaining[i] = pending{lit: l}
+	}
+
+	bound := make(map[string]bool)
+	allBound := func(vars []string) bool {
+		for _, v := range vars {
+			if !bound[v] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// rank returns the priority of a literal given current bindings, or -1
+	// if the literal is not ready. Lower ranks run earlier.
+	rank := func(l datalog.Literal) int {
+		if l.Builtin != nil {
+			b := l.Builtin
+			if !l.Neg && b.Op == datalog.OpEq {
+				lb := !b.L.IsVar() || bound[b.L.Var]
+				rb := !b.R.IsVar() || bound[b.R.Var]
+				if lb || rb {
+					return 0 // binds or filters immediately
+				}
+				return -1
+			}
+			if allBound(l.Vars()) {
+				return 1
+			}
+			return -1
+		}
+		if l.Neg {
+			if allBound(l.Atom.Vars()) {
+				return 2
+			}
+			return -1
+		}
+		// Positive atom: always ready. Prefer small delta relations as the
+		// outer loop, then atoms connected to the current bindings.
+		shares := false
+		for _, v := range l.Atom.Vars() {
+			if bound[v] {
+				shares = true
+				break
+			}
+		}
+		switch {
+		case l.Atom.Pred.IsDelta():
+			return 3 // delta relations are small: best outer loop
+		case shares:
+			return 4
+		case len(bound) == 0:
+			return 5
+		default:
+			return 6 // would form a cross product; last resort
+		}
+	}
+
+	for len(remaining) > 0 {
+		best, bestRank := -1, int(^uint(0)>>1)
+		for i, p := range remaining {
+			if rk := rank(p.lit); rk >= 0 && rk < bestRank {
+				best, bestRank = i, rk
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("eval: rule %q is unsafe: no evaluable literal order", r)
+		}
+		l := remaining[best].lit
+		remaining = append(remaining[:best], remaining[best+1:]...)
+
+		switch {
+		case l.Builtin != nil:
+			b := l.Builtin
+			st := step{kind: stepBuiltin, neg: l.Neg, op: b.Op}
+			st.left = termSlot(vi, b.L)
+			st.right = termSlot(vi, b.R)
+			if !l.Neg && b.Op == datalog.OpEq {
+				lb := !b.L.IsVar() || bound[b.L.Var]
+				rb := !b.R.IsVar() || bound[b.R.Var]
+				switch {
+				case !lb && rb:
+					st.bindLt = true
+					bound[b.L.Var] = true
+				case lb && !rb:
+					st.bindRt = true
+					bound[b.R.Var] = true
+				}
+			}
+			cr.steps = append(cr.steps, st)
+		case l.Neg:
+			st := step{kind: stepNegAtom, pred: l.Atom.Pred}
+			full := true
+			for _, t := range l.Atom.Args {
+				st.args = append(st.args, termSlot(vi, t))
+				if t.IsAnon() {
+					full = false
+				}
+			}
+			if full {
+				st.fullKey = true
+			} else {
+				for i, t := range l.Atom.Args {
+					if !t.IsAnon() {
+						st.keyPos = append(st.keyPos, i)
+					}
+				}
+			}
+			cr.steps = append(cr.steps, st)
+		default:
+			st := step{kind: stepScan, pred: l.Atom.Pred}
+			hasBoundVar := false
+			for i, t := range l.Atom.Args {
+				slot := termSlot(vi, t)
+				st.args = append(st.args, slot)
+				if t.IsConst() || (t.IsVar() && bound[t.Var]) {
+					st.keyPos = append(st.keyPos, i)
+				}
+				if t.IsVar() && bound[t.Var] {
+					hasBoundVar = true
+				}
+			}
+			// A probe key made only of constants (e.g. the outer scan of
+			// tasks(T,N,U,0)) would build a maintained index on a
+			// low-selectivity column whose huge buckets make later
+			// Insert/Delete maintenance linear. Scan and filter instead —
+			// same asymptotic cost for the query itself.
+			if !hasBoundVar {
+				st.keyPos = nil
+			}
+			for _, t := range l.Atom.Args {
+				if t.IsVar() {
+					bound[t.Var] = true
+				}
+			}
+			cr.steps = append(cr.steps, st)
+		}
+	}
+
+	if r.Head != nil {
+		for _, t := range r.Head.Args {
+			if t.IsAnon() {
+				return nil, fmt.Errorf("eval: rule %q: anonymous variable in head", r)
+			}
+			cr.head = append(cr.head, termSlot(vi, t))
+		}
+	}
+	cr.nvars = len(vi.idx)
+	return cr, nil
+}
+
+// --- rule execution ---------------------------------------------------
+
+// env is the runtime variable binding state.
+type env struct {
+	vals []value.Value
+	set  []bool
+}
+
+func (e *env) get(s argSlot) value.Value {
+	if s.isVar {
+		return e.vals[s.v]
+	}
+	return s.c
+}
+
+// run executes the plan over db, calling emit for every derived head tuple.
+// emit returning false stops the evaluation early.
+func (cr *compiledRule) run(db *Database, emit func(value.Tuple) bool) error {
+	en := &env{vals: make([]value.Value, cr.nvars), set: make([]bool, cr.nvars)}
+	_, err := cr.exec(db, en, 0, emit)
+	return err
+}
+
+// exec runs steps[i:]; it returns false to request early termination.
+func (cr *compiledRule) exec(db *Database, en *env, i int, emit func(value.Tuple) bool) (bool, error) {
+	if i == len(cr.steps) {
+		if cr.head == nil {
+			return emit(nil), nil
+		}
+		t := make(value.Tuple, len(cr.head))
+		for j, s := range cr.head {
+			t[j] = en.get(s)
+		}
+		return emit(t), nil
+	}
+	st := &cr.steps[i]
+	switch st.kind {
+	case stepBuiltin:
+		switch {
+		case st.bindLt:
+			en.vals[st.left.v] = en.get(st.right)
+			en.set[st.left.v] = true
+			cont, err := cr.exec(db, en, i+1, emit)
+			en.set[st.left.v] = false
+			return cont, err
+		case st.bindRt:
+			en.vals[st.right.v] = en.get(st.left)
+			en.set[st.right.v] = true
+			cont, err := cr.exec(db, en, i+1, emit)
+			en.set[st.right.v] = false
+			return cont, err
+		default:
+			ok := st.op.Eval(en.get(st.left), en.get(st.right))
+			if st.neg {
+				ok = !ok
+			}
+			if !ok {
+				return true, nil
+			}
+			return cr.exec(db, en, i+1, emit)
+		}
+
+	case stepNegAtom:
+		rel := db.Rel(st.pred)
+		if rel == nil {
+			return cr.exec(db, en, i+1, emit)
+		}
+		if st.fullKey {
+			t := make(value.Tuple, len(st.args))
+			for j, s := range st.args {
+				t[j] = en.get(s)
+			}
+			if rel.Contains(t) {
+				return true, nil
+			}
+			return cr.exec(db, en, i+1, emit)
+		}
+		key := make(value.Tuple, len(st.keyPos))
+		for j, p := range st.keyPos {
+			key[j] = en.get(st.args[p])
+		}
+		if len(db.Lookup(st.pred, st.keyPos, key)) > 0 {
+			return true, nil
+		}
+		return cr.exec(db, en, i+1, emit)
+
+	default: // stepScan
+		rel := db.Rel(st.pred)
+		if rel == nil {
+			return true, nil
+		}
+		tryTuple := func(t value.Tuple) (bool, error) {
+			var newly []int
+			ok := true
+			for j, s := range st.args {
+				switch {
+				case s.anon:
+				case s.isVar:
+					if en.set[s.v] {
+						if !en.vals[s.v].Equal(t[j]) {
+							ok = false
+						}
+					} else {
+						en.vals[s.v] = t[j]
+						en.set[s.v] = true
+						newly = append(newly, s.v)
+					}
+				default:
+					if !s.c.Equal(t[j]) {
+						ok = false
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			var cont = true
+			var err error
+			if ok {
+				cont, err = cr.exec(db, en, i+1, emit)
+			}
+			for _, v := range newly {
+				en.set[v] = false
+			}
+			return cont, err
+		}
+
+		if len(st.keyPos) == 0 {
+			var cont = true
+			var err error
+			rel.EachUntil(func(t value.Tuple) bool {
+				cont, err = tryTuple(t)
+				return err == nil && cont
+			})
+			return cont, err
+		}
+		key := make(value.Tuple, len(st.keyPos))
+		for j, p := range st.keyPos {
+			key[j] = en.get(st.args[p])
+		}
+		for _, t := range db.Lookup(st.pred, st.keyPos, key) {
+			cont, err := tryTuple(t)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+}

@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainShowsDeltaDrivenPlan(t *testing.T) {
+	// An incrementalized-style rule: the small delta relation must be the
+	// outer loop, the base relation probed by index.
+	e := mustEval(t, `
+source r(a:int, b:int).
+view v(a:int, b:int).
+_|_ :- v(X,Y), X > 100.
+-r(X,Y) :- r(X,Y), Y > 2, -v(X,Y).
+`)
+	out := e.Explain()
+	for _, want := range []string{
+		"rule -r(X, Y)",
+		"1. scan -v (full)",
+		"probe r via index on positions [0 1]",
+		"filter >",
+		"rule _|_",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	// The delta scan must come before the base-relation probe.
+	if strings.Index(out, "scan -v") > strings.Index(out, "probe r") {
+		t.Errorf("delta relation should drive the plan:\n%s", out)
+	}
+}
+
+func TestExplainMembershipAntiJoin(t *testing.T) {
+	e := mustEval(t, `
+source r(a:int).
+view v(a:int).
++r(X) :- v(X), not r(X).
+d(X) :- v(X), not r(_).
+`)
+	out := e.Explain()
+	if !strings.Contains(out, "anti-join r by direct membership") {
+		t.Errorf("full-key negation should test membership:\n%s", out)
+	}
+	if !strings.Contains(out, "anti-join r via index on positions []") &&
+		!strings.Contains(out, "anti-join r via index") {
+		t.Errorf("projected negation should use an index:\n%s", out)
+	}
+}
+
+func TestExplainEqualityBinding(t *testing.T) {
+	e := mustEval(t, `
+source r(a:int, b:string).
+view v(a:int).
++r(X,Y) :- v(X), Y = 'unknown', not r(X,Y).
+`)
+	out := e.Explain()
+	if !strings.Contains(out, "bind via equality") {
+		t.Errorf("equality binding not reported:\n%s", out)
+	}
+}

@@ -1,0 +1,231 @@
+package fol
+
+import (
+	"fmt"
+	"sort"
+
+	"birds/internal/datalog"
+	"birds/internal/value"
+)
+
+// This file implements the comparison-predicate encoding from the proof of
+// Lemma 3.1 (Appendix A.2): comparisons X < c and X > c are replaced by
+// fresh unary predicates C<c(X) and C>c(X), and a GNFO sentence Φ
+// axiomatizes those predicates over the totally ordered constants
+// c1 < c2 < ... < cn, so that satisfiability with genuine comparisons
+// coincides with satisfiability of the encoded formula together with Φ.
+
+// cmpPredName names the encoding predicate for op against constant c.
+func cmpPredName(lt bool, c value.Value) string {
+	dir := "gt"
+	if lt {
+		dir = "lt"
+	}
+	return fmt.Sprintf("__%s_%s", dir, c.String())
+}
+
+// EncodeComparisons rewrites every variable-vs-constant comparison in f
+// into an encoding atom (folding ≤/≥/≠ into <, > and = first), returning
+// the rewritten formula and the sorted integer constants that appeared in
+// comparisons. Comparisons between two constants are evaluated; other
+// shapes (variable vs variable) are rejected, as in LVGN-Datalog.
+func EncodeComparisons(f Formula) (Formula, []value.Value, error) {
+	constSet := make(map[int64]bool)
+	var rewrite func(Formula) (Formula, error)
+	encodeCmp := func(op datalog.CmpOp, x datalog.Term, c value.Value) (Formula, error) {
+		if c.Kind() != value.KindInt {
+			return nil, fmt.Errorf("fol: comparison axiomatization supports integer constants, got %s", c)
+		}
+		constSet[c.AsInt()] = true
+		mk := func(lt bool) Formula {
+			return &Atom{Pred: cmpPredName(lt, c), Args: []datalog.Term{x}}
+		}
+		eq := Formula(&Cmp{Op: datalog.OpEq, L: x, R: datalog.C(c)})
+		switch op {
+		case datalog.OpLt:
+			return mk(true), nil
+		case datalog.OpGt:
+			return mk(false), nil
+		case datalog.OpLe:
+			return NewOr(mk(true), eq), nil
+		case datalog.OpGe:
+			return NewOr(mk(false), eq), nil
+		case datalog.OpNe:
+			return NewOr(mk(true), mk(false)), nil
+		default:
+			return eq, nil
+		}
+	}
+	rewrite = func(f Formula) (Formula, error) {
+		switch g := f.(type) {
+		case *Cmp:
+			if g.Op == datalog.OpEq {
+				return g, nil
+			}
+			switch {
+			case g.L.IsConst() && g.R.IsConst():
+				return Truth{B: g.Op.Eval(g.L.Const, g.R.Const)}, nil
+			case g.L.IsVar() && g.R.IsConst():
+				return encodeCmp(g.Op, g.L, g.R.Const)
+			case g.L.IsConst() && g.R.IsVar():
+				// c op X  ≡  X op' c with the mirrored operator.
+				var mirror datalog.CmpOp
+				switch g.Op {
+				case datalog.OpLt:
+					mirror = datalog.OpGt
+				case datalog.OpGt:
+					mirror = datalog.OpLt
+				case datalog.OpLe:
+					mirror = datalog.OpGe
+				case datalog.OpGe:
+					mirror = datalog.OpLe
+				default:
+					mirror = g.Op
+				}
+				return encodeCmp(mirror, g.R, g.L.Const)
+			default:
+				return nil, fmt.Errorf("fol: cannot encode variable-vs-variable comparison %s", g)
+			}
+		case *Not:
+			inner, err := rewrite(g.F)
+			if err != nil {
+				return nil, err
+			}
+			return NewNot(inner), nil
+		case *And:
+			out := make([]Formula, len(g.Fs))
+			for i, s := range g.Fs {
+				var err error
+				if out[i], err = rewrite(s); err != nil {
+					return nil, err
+				}
+			}
+			return NewAnd(out...), nil
+		case *Or:
+			out := make([]Formula, len(g.Fs))
+			for i, s := range g.Fs {
+				var err error
+				if out[i], err = rewrite(s); err != nil {
+					return nil, err
+				}
+			}
+			return NewOr(out...), nil
+		case *Exists:
+			inner, err := rewrite(g.F)
+			if err != nil {
+				return nil, err
+			}
+			return NewExists(g.Vars, inner), nil
+		default:
+			return f, nil
+		}
+	}
+	out, err := rewrite(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	consts := make([]value.Value, 0, len(constSet))
+	keys := make([]int64, 0, len(constSet))
+	for k := range constSet {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		consts = append(consts, value.Int(k))
+	}
+	return out, consts, nil
+}
+
+// ComparisonAxiom builds the sentence Φ of Lemma 3.1's proof for the
+// sorted integer constants c1 < ... < cn: every domain element X falls
+// into exactly one of the 2n+1 order positions (below c1, equal to some
+// ci, strictly between ci and ci+1, above cn), with the corresponding
+// truth values of every C<cj(X) and C>cj(X). Positions with an empty gap
+// (ci+1 = ci + 1) contribute ⊥. The sentence is expressed as
+// ¬∃X ¬(ϕ1 ∨ ... ∨ ϕ2n+1).
+func ComparisonAxiom(consts []value.Value) Formula {
+	n := len(consts)
+	if n == 0 {
+		return True
+	}
+	x := datalog.V("X")
+	lt := func(i int) Formula {
+		return &Atom{Pred: cmpPredName(true, consts[i]), Args: []datalog.Term{x}}
+	}
+	gt := func(i int) Formula {
+		return &Atom{Pred: cmpPredName(false, consts[i]), Args: []datalog.Term{x}}
+	}
+	eq := func(i int) Formula {
+		return &Cmp{Op: datalog.OpEq, L: x, R: datalog.C(consts[i])}
+	}
+
+	// position describes the truth value of every C predicate given X's
+	// order position: rel(i) = -1 below ci, 0 equal, +1 above.
+	position := func(rel func(i int) int) Formula {
+		var conj []Formula
+		for i := 0; i < n; i++ {
+			switch rel(i) {
+			case -1:
+				conj = append(conj, lt(i), NewNot(eq(i)), NewNot(gt(i)))
+			case 0:
+				conj = append(conj, NewNot(lt(i)), eq(i), NewNot(gt(i)))
+			default:
+				conj = append(conj, NewNot(lt(i)), NewNot(eq(i)), gt(i))
+			}
+		}
+		return NewAnd(conj...)
+	}
+
+	var cases []Formula
+	// X < c1 (integers always have a value below the minimum).
+	cases = append(cases, position(func(i int) int { return -1 }))
+	for k := 0; k < n; k++ {
+		k := k
+		// X = ck.
+		cases = append(cases, position(func(i int) int {
+			switch {
+			case i < k:
+				return 1
+			case i == k:
+				return 0
+			default:
+				return -1
+			}
+		}))
+		// ck < X < ck+1, only when the integer gap is nonempty.
+		if k+1 < n && consts[k+1].AsInt()-consts[k].AsInt() > 1 {
+			cases = append(cases, position(func(i int) int {
+				if i <= k {
+					return 1
+				}
+				return -1
+			}))
+		}
+	}
+	// X > cn.
+	cases = append(cases, position(func(i int) int { return 1 }))
+
+	return NewNot(NewExists([]string{"X"}, NewNot(NewOr(cases...))))
+}
+
+// ComparisonRelations materializes the encoding predicates over a domain:
+// for each constant c, C<c = {x ∈ dom : x < c} and C>c = {x ∈ dom : x > c}.
+// Used to build models on which an encoded formula can be evaluated.
+func ComparisonRelations(consts []value.Value, dom []value.Value) map[string]*value.Relation {
+	out := make(map[string]*value.Relation, 2*len(consts))
+	for _, c := range consts {
+		ltRel := value.NewRelation(1)
+		gtRel := value.NewRelation(1)
+		for _, d := range dom {
+			if d.Compare(c) < 0 {
+				ltRel.Add(value.Tuple{d})
+			}
+			if d.Compare(c) > 0 {
+				gtRel.Add(value.Tuple{d})
+			}
+		}
+		out[cmpPredName(true, c)] = ltRel
+		out[cmpPredName(false, c)] = gtRel
+	}
+	return out
+}

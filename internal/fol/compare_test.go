@@ -1,0 +1,173 @@
+package fol
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"birds/internal/datalog"
+	"birds/internal/eval"
+	"birds/internal/value"
+)
+
+func TestEncodeComparisonsShapes(t *testing.T) {
+	x := datalog.V("X")
+	mk := func(op datalog.CmpOp) Formula {
+		return &Cmp{Op: op, L: x, R: datalog.CInt(5)}
+	}
+	// < and > become single atoms; <=, >=, <> become disjunctions.
+	for _, c := range []struct {
+		op      datalog.CmpOp
+		substr  string
+		wantsOr bool
+	}{
+		{datalog.OpLt, "__lt_5", false},
+		{datalog.OpGt, "__gt_5", false},
+		{datalog.OpLe, "__lt_5", true},
+		{datalog.OpGe, "__gt_5", true},
+		{datalog.OpNe, "__lt_5", true},
+	} {
+		enc, consts, err := EncodeComparisons(mk(c.op))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(enc.String(), c.substr) {
+			t.Errorf("%v encoding = %s", c.op, enc)
+		}
+		if _, isOr := enc.(*Or); isOr != c.wantsOr {
+			t.Errorf("%v: disjunction = %v, want %v (%s)", c.op, isOr, c.wantsOr, enc)
+		}
+		if len(consts) != 1 || consts[0].AsInt() != 5 {
+			t.Errorf("constants = %v", consts)
+		}
+	}
+	// Mirrored constant-on-left comparison.
+	enc, _, err := EncodeComparisons(&Cmp{Op: datalog.OpLt, L: datalog.CInt(3), R: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(enc.String(), "__gt_3") {
+		t.Errorf("3 < X should encode as __gt_3(X): %s", enc)
+	}
+	// Ground comparisons fold.
+	enc, _, err = EncodeComparisons(&Cmp{Op: datalog.OpLt, L: datalog.CInt(1), R: datalog.CInt(2)})
+	if err != nil || enc != True {
+		t.Errorf("1 < 2 should fold to ⊤: %v %v", enc, err)
+	}
+	// Variable-vs-variable rejected.
+	if _, _, err := EncodeComparisons(&Cmp{Op: datalog.OpLt, L: x, R: datalog.V("Y")}); err == nil {
+		t.Error("X < Y should be rejected")
+	}
+	// Equality passes through untouched.
+	eq := &Cmp{Op: datalog.OpEq, L: x, R: datalog.CInt(1)}
+	enc, consts, err := EncodeComparisons(eq)
+	if err != nil || enc != Formula(eq) || len(consts) != 0 {
+		t.Errorf("equality should pass through: %v %v %v", enc, consts, err)
+	}
+}
+
+// The encoded formula over faithful comparison relations must agree with
+// the original formula on random models, and those models must satisfy the
+// axiom Φ — the semantic content of the Lemma 3.1 reduction.
+func TestEncodingAgreesWithSemantics(t *testing.T) {
+	x := datalog.V("X")
+	orig := NewAnd(
+		&Atom{Pred: "r", Args: []datalog.Term{x}},
+		NewOr(
+			&Cmp{Op: datalog.OpLt, L: x, R: datalog.CInt(2)},
+			NewAnd(
+				&Cmp{Op: datalog.OpGt, L: x, R: datalog.CInt(5)},
+				NewNot(&Cmp{Op: datalog.OpGe, L: x, R: datalog.CInt(9)}),
+			),
+		),
+	)
+	enc, consts, err := EncodeComparisons(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	axiom := ComparisonAxiom(consts)
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		db := eval.NewDatabase()
+		var dom []value.Value
+		r := value.NewRelation(1)
+		for i := 0; i < 6; i++ {
+			v := value.Int(int64(rng.Intn(14) - 2))
+			dom = append(dom, v)
+			if rng.Intn(2) == 0 {
+				r.Add(value.Tuple{v})
+			}
+		}
+		db.Set(datalog.Pred("r"), r)
+		full := append(append([]value.Value{}, dom...), consts...)
+		for name, rel := range ComparisonRelations(consts, full) {
+			db.Set(datalog.Pred(name), rel)
+		}
+		m := NewModel(db, full...)
+		if !m.Eval(axiom, Env{}) {
+			t.Fatalf("faithful comparison relations must satisfy Φ (dom=%v)", dom)
+		}
+		for _, d := range dom {
+			env := Env{"X": d}
+			if got, want := m.Eval(enc, env), m.Eval(orig, env); got != want {
+				t.Fatalf("encoding disagrees at X=%v: enc=%v orig=%v", d, got, want)
+			}
+		}
+	}
+}
+
+// Inconsistent comparison relations must violate the axiom.
+func TestAxiomRejectsInconsistentRelations(t *testing.T) {
+	consts := []value.Value{value.Int(2), value.Int(5)}
+	axiom := ComparisonAxiom(consts)
+	dom := []value.Value{value.Int(0), value.Int(3), value.Int(7)}
+
+	db := eval.NewDatabase()
+	full := append(append([]value.Value{}, dom...), consts...)
+	rels := ComparisonRelations(consts, full)
+	// Sanity: the uncorrupted relations satisfy Φ.
+	{
+		clean := eval.NewDatabase()
+		for name, rel := range rels {
+			clean.Set(datalog.Pred(name), rel.Clone())
+		}
+		if !NewModel(clean, full...).Eval(axiom, Env{}) {
+			t.Fatal("faithful relations should satisfy Φ")
+		}
+	}
+	// Corrupt: claim 0 < 2 is false.
+	rels[cmpPredName(true, value.Int(2))].Remove(value.Tuple{value.Int(0)})
+	for name, rel := range rels {
+		db.Set(datalog.Pred(name), rel)
+	}
+	m := NewModel(db, append(dom, consts...)...)
+	if m.Eval(axiom, Env{}) {
+		t.Fatal("corrupted comparison relations must violate Φ")
+	}
+}
+
+// Adjacent integers leave no room strictly between them: the axiom must
+// reject an element claimed to lie between 2 and 3.
+func TestAxiomEmptyGap(t *testing.T) {
+	consts := []value.Value{value.Int(2), value.Int(3)}
+	axiom := ComparisonAxiom(consts)
+	db := eval.NewDatabase()
+	// A phantom element e with C>2(e) and C<3(e) but e ∉ {2,3}: no integer
+	// satisfies this, so any model claiming it must violate Φ. Use a
+	// non-integer stand-in to dodge the equality cases.
+	e := value.Str("phantom")
+	rels := ComparisonRelations(consts, consts)
+	rels[cmpPredName(false, value.Int(2))].Add(value.Tuple{e})
+	rels[cmpPredName(true, value.Int(3))].Add(value.Tuple{e})
+	for name, rel := range rels {
+		db.Set(datalog.Pred(name), rel)
+	}
+	m := NewModel(db, append([]value.Value{e}, consts...)...)
+	if m.Eval(axiom, Env{}) {
+		t.Fatal("an element strictly between 2 and 3 must violate Φ")
+	}
+	if ComparisonAxiom(nil) != True {
+		t.Error("no constants: Φ is trivially true")
+	}
+}

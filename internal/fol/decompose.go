@@ -1,0 +1,203 @@
+package fol
+
+import (
+	"fmt"
+
+	"birds/internal/datalog"
+)
+
+// Conjunct is one flattened disjunct of a sentence: a set of conjuncts that
+// are atoms, comparisons, or negated subformulas, with every variable
+// implicitly existentially quantified (the sentence level of Lemma 4.2).
+type Conjunct struct {
+	Parts []Formula
+}
+
+// Formula reassembles the conjunct as an existentially closed sentence.
+func (c Conjunct) Formula() Formula {
+	body := NewAnd(c.Parts...)
+	vars := SortedFreeVars(body)
+	return NewExists(vars, body)
+}
+
+// DisjunctiveForm flattens an existentially closed sentence into its
+// disjuncts: existentials are hoisted (bound variables are already unique
+// after unfolding), disjunctions distribute over conjunctions, and negated
+// subformulas are kept opaque.
+func DisjunctiveForm(f Formula) []Conjunct {
+	return disjuncts(f)
+}
+
+func disjuncts(f Formula) []Conjunct {
+	switch g := f.(type) {
+	case *Or:
+		var out []Conjunct
+		for _, s := range g.Fs {
+			out = append(out, disjuncts(s)...)
+		}
+		return out
+	case *Exists:
+		return disjuncts(g.F)
+	case *And:
+		// Cartesian product of the children's disjuncts.
+		out := []Conjunct{{}}
+		for _, s := range g.Fs {
+			ds := disjuncts(s)
+			var next []Conjunct
+			for _, acc := range out {
+				for _, d := range ds {
+					parts := make([]Formula, 0, len(acc.Parts)+len(d.Parts))
+					parts = append(parts, acc.Parts...)
+					parts = append(parts, d.Parts...)
+					next = append(next, Conjunct{Parts: parts})
+				}
+			}
+			out = next
+		}
+		return out
+	case Truth:
+		if g.B {
+			return []Conjunct{{}}
+		}
+		return nil
+	default:
+		// Atom, Cmp, Not: a single conjunct.
+		return []Conjunct{{Parts: []Formula{f}}}
+	}
+}
+
+// Decomposition is the linear-view normal form of Lemma 4.2 (Claim 1): the
+// steady-state condition over (S, V) splits into
+//
+//	(S,V) ⊭ ∃Y, v(Y) ∧ φ1(Y)     — φ1 bounds the view from above
+//	(S,V) ⊭ ∃Y, ¬v(Y) ∧ φ2(Y)    — φ2 bounds the view from below
+//	(S,V) ⊭ φ3                   — view-free sentences over S alone
+//
+// A steady-state view exists iff φ3 is unsatisfiable and ∃Y, φ1 ∧ φ2 is
+// unsatisfiable, and then get = φ2 is one valid view definition (§4.3).
+type Decomposition struct {
+	ViewName string
+	ViewVars []string // canonical Y1..Ym
+	Phi1     Formula  // free vars ⊆ ViewVars
+	Phi2     Formula  // free vars ⊆ ViewVars
+	Phi3     []Formula
+}
+
+// Decompose rewrites the given existentially closed sentences — each of
+// which must not be satisfied by (S, V) — into the linear-view normal form.
+// Each disjunct may contain at most one direct view literal (guaranteed for
+// programs satisfying the linear-view restriction); a view atom nested
+// inside a negated subformula is rejected.
+func Decompose(sentences []Formula, viewName string, viewArity int) (*Decomposition, error) {
+	d := &Decomposition{ViewName: viewName}
+	for i := 0; i < viewArity; i++ {
+		d.ViewVars = append(d.ViewVars, fmt.Sprintf("Y%d", i+1))
+	}
+	fresh := NewFresh("_d")
+	var phi1, phi2 []Formula
+
+	for _, s := range sentences {
+		for _, conj := range DisjunctiveForm(s) {
+			viewIdx := -1
+			viewNeg := false
+			for i, part := range conj.Parts {
+				atom, neg := directAtom(part)
+				if atom == nil {
+					if containsPred(part, viewName) {
+						return nil, fmt.Errorf("fol: view %s occurs inside a nested subformula; the program is outside the linear-view fragment", viewName)
+					}
+					continue
+				}
+				if atom.Pred != viewName {
+					continue
+				}
+				if viewIdx >= 0 {
+					return nil, fmt.Errorf("fol: disjunct has two view literals (self-join on the view)")
+				}
+				viewIdx, viewNeg = i, neg
+			}
+			if viewIdx < 0 {
+				d.Phi3 = append(d.Phi3, conj.Formula())
+				continue
+			}
+			psi, err := canonicalizeView(conj, viewIdx, d.ViewVars, fresh)
+			if err != nil {
+				return nil, err
+			}
+			if viewNeg {
+				phi2 = append(phi2, psi)
+			} else {
+				phi1 = append(phi1, psi)
+			}
+		}
+	}
+	d.Phi1 = NewOr(phi1...)
+	d.Phi2 = NewOr(phi2...)
+	return d, nil
+}
+
+// directAtom returns the atom if part is an atom or the negation of an
+// atom, along with the negation flag.
+func directAtom(part Formula) (*Atom, bool) {
+	switch g := part.(type) {
+	case *Atom:
+		return g, false
+	case *Not:
+		if a, ok := g.F.(*Atom); ok {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+func containsPred(f Formula, name string) bool { return Preds(f)[name] }
+
+// canonicalizeView removes the view literal at index vi from the conjunct
+// and rewrites the rest over the canonical view variables: constants and
+// repeated variables in the view atom become equalities, the remaining
+// variables are renamed, and every non-view variable is existentially
+// quantified. The result is the coefficient ψ of the view literal.
+func canonicalizeView(conj Conjunct, vi int, viewVars []string, fresh *Fresh) (Formula, error) {
+	atom, _ := directAtom(conj.Parts[vi])
+	if len(atom.Args) != len(viewVars) {
+		return nil, fmt.Errorf("fol: view atom arity %d does not match declared arity %d", len(atom.Args), len(viewVars))
+	}
+	sub := make(map[string]datalog.Term)
+	var eqs []Formula
+	for i, t := range atom.Args {
+		y := datalog.V(viewVars[i])
+		switch {
+		case t.IsConst():
+			eqs = append(eqs, &Cmp{Op: datalog.OpEq, L: y, R: t})
+		case t.IsVar():
+			if prev, ok := sub[t.Var]; ok {
+				eqs = append(eqs, &Cmp{Op: datalog.OpEq, L: y, R: prev})
+			} else {
+				sub[t.Var] = y
+			}
+		default:
+			return nil, fmt.Errorf("fol: anonymous variable in view atom (projection on the view)")
+		}
+	}
+	var rest []Formula
+	rest = append(rest, eqs...)
+	for i, part := range conj.Parts {
+		if i == vi {
+			continue
+		}
+		rest = append(rest, Substitute(part, sub, fresh))
+	}
+	body := NewAnd(rest...)
+	// Quantify everything that is not a canonical view variable.
+	isView := make(map[string]bool, len(viewVars))
+	for _, v := range viewVars {
+		isView[v] = true
+	}
+	var exist []string
+	for _, v := range SortedFreeVars(body) {
+		if !isView[v] {
+			exist = append(exist, v)
+		}
+	}
+	return NewExists(exist, body), nil
+}

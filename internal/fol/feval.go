@@ -1,0 +1,145 @@
+package fol
+
+import (
+	"birds/internal/datalog"
+	"birds/internal/eval"
+	"birds/internal/value"
+)
+
+// Model is a finite structure over which formulas are evaluated: a database
+// plus the active domain used for quantification.
+type Model struct {
+	DB     *eval.Database
+	Domain []value.Value
+}
+
+// NewModel builds a model whose domain is the active domain of db extended
+// with the given extra values (typically the constants of the formula to be
+// evaluated).
+func NewModel(db *eval.Database, extra ...value.Value) *Model {
+	seen := make(map[string]bool)
+	var dom []value.Value
+	add := func(v value.Value) {
+		k := value.Tuple{v}.Key()
+		if !seen[k] {
+			seen[k] = true
+			dom = append(dom, v)
+		}
+	}
+	for _, p := range db.Preds() {
+		db.Rel(p).Each(func(t value.Tuple) {
+			for _, v := range t {
+				add(v)
+			}
+		})
+	}
+	for _, v := range extra {
+		add(v)
+	}
+	return &Model{DB: db, Domain: dom}
+}
+
+// Env is a variable assignment.
+type Env map[string]value.Value
+
+// termValue resolves a term under the environment; it panics on an unbound
+// variable, which indicates evaluating a formula with free variables not
+// covered by the environment.
+func termValue(t datalog.Term, env Env) value.Value {
+	if t.IsConst() {
+		return t.Const
+	}
+	v, ok := env[t.Var]
+	if !ok {
+		panic("fol: unbound variable " + t.Var + " during evaluation")
+	}
+	return v
+}
+
+// Eval evaluates f over the model under env. Quantifiers range over the
+// model's domain. The evaluation is the standard Tarskian semantics; it is
+// exponential in quantifier depth but the models used by the bounded
+// satisfiability oracle are tiny.
+func (m *Model) Eval(f Formula, env Env) bool {
+	switch g := f.(type) {
+	case Truth:
+		return g.B
+	case *Atom:
+		rel := m.DB.Rel(predSym(g.Pred))
+		if rel == nil {
+			return false
+		}
+		t := make(value.Tuple, len(g.Args))
+		for i, a := range g.Args {
+			t[i] = termValue(a, env)
+		}
+		return rel.Contains(t)
+	case *Cmp:
+		return g.Op.Eval(termValue(g.L, env), termValue(g.R, env))
+	case *Not:
+		return !m.Eval(g.F, env)
+	case *And:
+		for _, s := range g.Fs {
+			if !m.Eval(s, env) {
+				return false
+			}
+		}
+		return true
+	case *Or:
+		for _, s := range g.Fs {
+			if m.Eval(s, env) {
+				return true
+			}
+		}
+		return false
+	case *Exists:
+		return m.evalExists(g.Vars, g.F, env)
+	default:
+		panic("fol: unknown formula type")
+	}
+}
+
+func (m *Model) evalExists(vars []string, body Formula, env Env) bool {
+	if len(vars) == 0 {
+		return m.Eval(body, env)
+	}
+	v, rest := vars[0], vars[1:]
+	saved, had := env[v]
+	for _, d := range m.Domain {
+		env[v] = d
+		if m.evalExists(rest, body, env) {
+			if had {
+				env[v] = saved
+			} else {
+				delete(env, v)
+			}
+			return true
+		}
+	}
+	if had {
+		env[v] = saved
+	} else {
+		delete(env, v)
+	}
+	return false
+}
+
+// predSym recovers a PredSym from its printed form (+r, -r, r), the
+// encoding used by the unfolder for EDB atoms.
+func predSym(name string) datalog.PredSym {
+	if len(name) > 0 {
+		switch name[0] {
+		case '+':
+			return datalog.Ins(name[1:])
+		case '-':
+			return datalog.Del(name[1:])
+		}
+	}
+	return datalog.Pred(name)
+}
+
+// Sat reports whether the existentially closed sentence holds in the model.
+func (m *Model) Sat(sentence Formula) bool {
+	vars := SortedFreeVars(sentence)
+	return m.Eval(NewExists(vars, sentence), Env{})
+}

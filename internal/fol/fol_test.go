@@ -1,0 +1,419 @@
+package fol
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"birds/internal/datalog"
+	"birds/internal/eval"
+	"birds/internal/value"
+)
+
+func mustProg(t *testing.T, src string) *datalog.Program {
+	t.Helper()
+	p, err := datalog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const unionSrc = `
+source r1(a:int).
+source r2(a:int).
+view v(a:int).
+-r1(X) :- r1(X), not v(X).
+-r2(X) :- r2(X), not v(X).
++r1(X) :- v(X), not r1(X), not r2(X).
+`
+
+func randomDB(rng *rand.Rand, preds map[string]int, domain int) *eval.Database {
+	db := eval.NewDatabase()
+	for name, arity := range preds {
+		r := value.NewRelation(arity)
+		n := rng.Intn(4)
+		for i := 0; i < n; i++ {
+			t := make(value.Tuple, arity)
+			for j := range t {
+				t[j] = value.Int(int64(rng.Intn(domain)))
+			}
+			r.Add(t)
+		}
+		db.Set(predSym(name), r)
+	}
+	return db
+}
+
+// Unfolded formulas must agree with direct Datalog evaluation on random
+// databases — the semantic core of Lemma 3.1's construction.
+func TestUnfoldAgreesWithEvaluation(t *testing.T) {
+	prog := mustProg(t, unionSrc)
+	u := NewUnfolder(prog)
+	ev, err := eval.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goals := []datalog.PredSym{datalog.Del("r1"), datalog.Del("r2"), datalog.Ins("r1")}
+	formulas := make(map[datalog.PredSym]Formula)
+	for _, g := range goals {
+		formulas[g] = u.Pred(g, QueryVars(1))
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 150; trial++ {
+		db := randomDB(rng, map[string]int{"r1": 1, "r2": 1, "v": 1}, 4)
+		if err := ev.Eval(db); err != nil {
+			t.Fatal(err)
+		}
+		m := NewModel(db, value.Int(0), value.Int(1), value.Int(2), value.Int(3))
+		for _, g := range goals {
+			rel := db.Rel(g)
+			for _, d := range m.Domain {
+				want := rel.Contains(value.Tuple{d})
+				got := m.Eval(formulas[g], Env{"Y1": d})
+				if got != want {
+					t.Fatalf("trial %d: %s(%v): formula=%v datalog=%v\nformula: %s\ndb:\n%s",
+						trial, g, d, got, want, formulas[g], db)
+				}
+			}
+		}
+	}
+}
+
+// Unfolding handles auxiliary IDB predicates, constants in heads and
+// repeated head variables.
+func TestUnfoldAuxAndHeadPatterns(t *testing.T) {
+	prog := mustProg(t, `
+source r(a:int, b:int).
+view v(a:int).
+big(X) :- r(X,Y), Y > 2.
+same(X) :- r(X,X).
+tagged(X,1) :- r(X,_).
+-r(X,Y) :- r(X,Y), big(X), not v(X).
+`)
+	u := NewUnfolder(prog)
+	ev, err := eval.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fBig := u.Pred(datalog.Pred("big"), QueryVars(1))
+	fSame := u.Pred(datalog.Pred("same"), QueryVars(1))
+	fTagged := u.Pred(datalog.Pred("tagged"), QueryVars(2))
+	fDel := u.Pred(datalog.Del("r"), QueryVars(2))
+
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 120; trial++ {
+		db := randomDB(rng, map[string]int{"r": 2, "v": 1}, 4)
+		if err := ev.Eval(db); err != nil {
+			t.Fatal(err)
+		}
+		m := NewModel(db, value.Int(0), value.Int(1), value.Int(2), value.Int(3))
+		for _, d := range m.Domain {
+			if got, want := m.Eval(fBig, Env{"Y1": d}), db.Rel(datalog.Pred("big")).Contains(value.Tuple{d}); got != want {
+				t.Fatalf("big(%v): formula=%v datalog=%v", d, got, want)
+			}
+			if got, want := m.Eval(fSame, Env{"Y1": d}), db.Rel(datalog.Pred("same")).Contains(value.Tuple{d}); got != want {
+				t.Fatalf("same(%v): formula=%v datalog=%v", d, got, want)
+			}
+			for _, d2 := range m.Domain {
+				env := Env{"Y1": d, "Y2": d2}
+				if got, want := m.Eval(fTagged, env), db.Rel(datalog.Pred("tagged")).Contains(value.Tuple{d, d2}); got != want {
+					t.Fatalf("tagged(%v,%v): formula=%v datalog=%v", d, d2, got, want)
+				}
+				if got, want := m.Eval(fDel, env), db.Rel(datalog.Del("r")).Contains(value.Tuple{d, d2}); got != want {
+					t.Fatalf("-r(%v,%v): formula=%v datalog=%v", d, d2, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Example 4.1 of the paper: decomposing the union strategy's steady-state
+// sentences must yield φ2 ≡ r1 ∨ r2 (the derived get), φ1 ≡ ¬r1 ∧ ¬r2, and
+// no view-free sentence.
+func TestDecomposeExample41(t *testing.T) {
+	prog := mustProg(t, unionSrc)
+	u := NewUnfolder(prog)
+	y := QueryVars(1)
+	rAtom := func(name string) Formula { return &Atom{Pred: name, Args: y} }
+
+	sentences := []Formula{
+		NewAnd(u.Pred(datalog.Del("r1"), y), rAtom("r1")),
+		NewAnd(u.Pred(datalog.Del("r2"), y), rAtom("r2")),
+		NewAnd(u.Pred(datalog.Ins("r1"), y), NewNot(rAtom("r1"))),
+	}
+	d, err := Decompose(sentences, "v", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Phi3) != 0 {
+		t.Errorf("φ3 should be empty, got %v", d.Phi3)
+	}
+
+	// Check semantic equivalences over all two-element source databases.
+	wantPhi2 := NewOr(&Atom{Pred: "r1", Args: []datalog.Term{datalog.V("Y1")}},
+		&Atom{Pred: "r2", Args: []datalog.Term{datalog.V("Y1")}})
+	vals := []value.Value{value.Int(0), value.Int(1)}
+	for mask := 0; mask < 16; mask++ {
+		db := eval.NewDatabase()
+		r1, r2 := value.NewRelation(1), value.NewRelation(1)
+		if mask&1 != 0 {
+			r1.Add(value.Tuple{vals[0]})
+		}
+		if mask&2 != 0 {
+			r1.Add(value.Tuple{vals[1]})
+		}
+		if mask&4 != 0 {
+			r2.Add(value.Tuple{vals[0]})
+		}
+		if mask&8 != 0 {
+			r2.Add(value.Tuple{vals[1]})
+		}
+		db.Set(datalog.Pred("r1"), r1)
+		db.Set(datalog.Pred("r2"), r2)
+		m := NewModel(db, vals...)
+		for _, d0 := range vals {
+			env := Env{"Y1": d0}
+			if got, want := m.Eval(d.Phi2, env), m.Eval(wantPhi2, env); got != want {
+				t.Fatalf("φ2 mismatch at %v: got %v want %v\nφ2 = %s", d0, got, want, d.Phi2)
+			}
+			// φ1 ∧ φ2 must be unsatisfiable (the existence condition).
+			if m.Eval(d.Phi1, env) && m.Eval(d.Phi2, env) {
+				t.Fatalf("φ1 ∧ φ2 satisfiable at %v:\nφ1 = %s\nφ2 = %s", d0, d.Phi1, d.Phi2)
+			}
+		}
+	}
+}
+
+func TestDecomposeConstantsAndConstraints(t *testing.T) {
+	prog := mustProg(t, `
+source male(e:string).
+view people(e:string, g:string).
++male(E) :- people(E,'M'), not male(E).
+-male(E) :- male(E), not people(E,'M').
+_|_ :- people(E,G), G = 'X'.
+`)
+	u := NewUnfolder(prog)
+	y := QueryVars(1)
+	sentences := []Formula{
+		NewAnd(u.Pred(datalog.Ins("male"), y), NewNot(&Atom{Pred: "male", Args: y})),
+		NewAnd(u.Pred(datalog.Del("male"), y), &Atom{Pred: "male", Args: y}),
+		u.ConstraintSentence(prog.Constraints()[0]),
+	}
+	d, err := Decompose(sentences, "people", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Phi3) != 0 {
+		t.Errorf("φ3 should be empty: %v", d.Phi3)
+	}
+	// φ2 should be male(Y1) ∧ Y2 = 'M' semantically.
+	db := eval.NewDatabase()
+	maleRel := value.NewRelation(1)
+	maleRel.Add(value.Tuple{value.Str("bob")})
+	db.Set(datalog.Pred("male"), maleRel)
+	m := NewModel(db, value.Str("bob"), value.Str("M"), value.Str("X"), value.Str("F"))
+	cases := []struct {
+		e, g string
+		want bool
+	}{
+		{"bob", "M", true},
+		{"bob", "F", false},
+		{"M", "M", false},
+	}
+	for _, c := range cases {
+		got := m.Eval(d.Phi2, Env{"Y1": value.Str(c.e), "Y2": value.Str(c.g)})
+		if got != c.want {
+			t.Errorf("φ2(%s,%s) = %v, want %v\nφ2 = %s", c.e, c.g, got, c.want, d.Phi2)
+		}
+	}
+	// The constraint contributes G = 'X' to φ1: people('bob','X') must be
+	// excluded from any steady state.
+	if !m.Eval(d.Phi1, Env{"Y1": value.Str("bob"), "Y2": value.Str("X")}) {
+		t.Errorf("φ1 should forbid G='X'\nφ1 = %s", d.Phi1)
+	}
+}
+
+func TestDecomposeRejectsSelfJoin(t *testing.T) {
+	v := func(args ...datalog.Term) Formula { return &Atom{Pred: "v", Args: args} }
+	s := NewAnd(v(datalog.V("A")), v(datalog.V("B")))
+	if _, err := Decompose([]Formula{s}, "v", 1); err == nil {
+		t.Fatal("self-join should be rejected")
+	}
+	nested := NewNot(NewExists([]string{"Z"}, NewAnd(v(datalog.V("Z")), &Atom{Pred: "r", Args: []datalog.Term{datalog.V("Z")}})))
+	if _, err := Decompose([]Formula{NewAnd(&Atom{Pred: "r", Args: []datalog.Term{datalog.V("A")}}, nested)}, "v", 1); err == nil {
+		t.Fatal("view nested under negation should be rejected")
+	}
+}
+
+func TestToDatalogRoundTrip(t *testing.T) {
+	// φ2 of the union example: translate to Datalog, evaluate, compare
+	// with FO evaluation on random databases.
+	prog := mustProg(t, unionSrc)
+	u := NewUnfolder(prog)
+	y := QueryVars(1)
+	sentences := []Formula{
+		NewAnd(u.Pred(datalog.Del("r1"), y), &Atom{Pred: "r1", Args: y}),
+		NewAnd(u.Pred(datalog.Del("r2"), y), &Atom{Pred: "r2", Args: y}),
+		NewAnd(u.Pred(datalog.Ins("r1"), y), NewNot(&Atom{Pred: "r1", Args: y})),
+	}
+	d, err := Decompose(sentences, "v", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := ToDatalog(d.Phi2, d.ViewVars, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getProg := &datalog.Program{
+		Sources: prog.Sources,
+		Rules:   rules,
+	}
+	ev, err := eval.New(getProg)
+	if err != nil {
+		t.Fatalf("derived get program does not compile: %v\n%s", err, getProg)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		db := randomDB(rng, map[string]int{"r1": 1, "r2": 1}, 4)
+		if err := ev.Eval(db); err != nil {
+			t.Fatal(err)
+		}
+		m := NewModel(db, value.Int(0), value.Int(1), value.Int(2), value.Int(3))
+		got := db.Rel(datalog.Pred("v"))
+		for _, d0 := range m.Domain {
+			want := m.Eval(d.Phi2, Env{"Y1": d0})
+			if got.Contains(value.Tuple{d0}) != want {
+				t.Fatalf("derived get disagrees with φ2 at %v\nrules:\n%s", d0, getProg)
+			}
+		}
+	}
+}
+
+func TestToDatalogNestedNegationGuard(t *testing.T) {
+	// f(Y1) = r(Y1) ∧ ¬∃Z (s(Y1,Z) ∧ ¬t(Z)) — the nested negation needs an
+	// auxiliary predicate; ¬t(Z) inside is only safe after guard pushing.
+	f := NewAnd(
+		&Atom{Pred: "r", Args: []datalog.Term{datalog.V("Y1")}},
+		NewNot(NewExists([]string{"Z"}, NewAnd(
+			&Atom{Pred: "s", Args: []datalog.Term{datalog.V("Y1"), datalog.V("Z")}},
+			NewNot(&Atom{Pred: "t", Args: []datalog.Term{datalog.V("Z")}}),
+		))),
+	)
+	rules, err := ToDatalog(f, []string{"Y1"}, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &datalog.Program{Rules: rules}
+	ev, err := eval.New(prog)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, prog)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		db := randomDB(rng, map[string]int{"r": 1, "s": 2, "t": 1}, 3)
+		if err := ev.Eval(db); err != nil {
+			t.Fatal(err)
+		}
+		m := NewModel(db, value.Int(0), value.Int(1), value.Int(2))
+		got := db.Rel(datalog.Pred("q"))
+		for _, d0 := range m.Domain {
+			want := m.Eval(f, Env{"Y1": d0})
+			if got.Contains(value.Tuple{d0}) != want {
+				t.Fatalf("nested negation translation wrong at %v\n%s", d0, prog)
+			}
+		}
+	}
+}
+
+func TestToDatalogErrors(t *testing.T) {
+	// A sentence (no free variables) cannot become a Datalog query head.
+	if _, err := ToDatalog(&Atom{Pred: "r", Args: []datalog.Term{datalog.CInt(1)}}, nil, "q"); err == nil {
+		t.Error("nullary query should be rejected")
+	}
+	// ¬r(Y1) alone is not range restricted.
+	if _, err := ToDatalog(NewNot(&Atom{Pred: "r", Args: []datalog.Term{datalog.V("Y1")}}), []string{"Y1"}, "q"); err == nil {
+		t.Error("unsafe formula should be rejected")
+	}
+}
+
+func TestFormulaConstructorsNormalize(t *testing.T) {
+	a := &Atom{Pred: "r", Args: []datalog.Term{datalog.V("X")}}
+	if NewAnd() != True || NewOr() != False {
+		t.Error("empty connectives should fold to truth constants")
+	}
+	if NewAnd(a, False) != False || NewOr(a, True) != True {
+		t.Error("absorbing elements wrong")
+	}
+	if NewAnd(True, a) != Formula(a) || NewOr(False, a) != Formula(a) {
+		t.Error("identity elements wrong")
+	}
+	if NewNot(NewNot(a)) != Formula(a) {
+		t.Error("double negation should fold")
+	}
+	if NewNot(True) != False || NewNot(False) != True {
+		t.Error("negated truth constants wrong")
+	}
+	flat := NewAnd(NewAnd(a, a), a)
+	if and, ok := flat.(*And); !ok || len(and.Fs) != 3 {
+		t.Errorf("nested And should flatten: %v", flat)
+	}
+	// Exists drops unused variables.
+	if NewExists([]string{"Z"}, a) != Formula(a) {
+		t.Error("Exists over unused variable should vanish")
+	}
+	e := NewExists([]string{"X"}, a)
+	if _, ok := e.(*Exists); !ok {
+		t.Errorf("Exists over used variable should remain: %v", e)
+	}
+}
+
+func TestFreeVarsAndSubstitute(t *testing.T) {
+	inner := NewAnd(
+		&Atom{Pred: "r", Args: []datalog.Term{datalog.V("X"), datalog.V("Z")}},
+		&Cmp{Op: datalog.OpLt, L: datalog.V("Z"), R: datalog.CInt(5)},
+	)
+	f := NewExists([]string{"Z"}, inner)
+	fv := FreeVars(f)
+	if !fv["X"] || fv["Z"] || len(fv) != 1 {
+		t.Errorf("FreeVars = %v", fv)
+	}
+	// Substituting X := Z must not capture the bound Z.
+	g := Substitute(f, map[string]datalog.Term{"X": datalog.V("Z")}, NewFresh("_t"))
+	gv := FreeVars(g)
+	if !gv["Z"] || len(gv) != 1 {
+		t.Errorf("after substitution FreeVars = %v", gv)
+	}
+	if strings.Contains(g.String(), "∃Z") {
+		t.Errorf("bound variable not renamed: %s", g)
+	}
+}
+
+func TestConstantsCollection(t *testing.T) {
+	f := NewAnd(
+		&Atom{Pred: "r", Args: []datalog.Term{datalog.CStr("M"), datalog.V("X")}},
+		&Cmp{Op: datalog.OpGt, L: datalog.V("X"), R: datalog.CInt(2)},
+		&Cmp{Op: datalog.OpGt, L: datalog.V("X"), R: datalog.CInt(2)},
+	)
+	cs := Constants(f)
+	if len(cs) != 2 {
+		t.Errorf("Constants = %v", cs)
+	}
+}
+
+func TestModelSat(t *testing.T) {
+	db := eval.NewDatabase()
+	r := value.NewRelation(1)
+	r.Add(value.Tuple{value.Int(1)})
+	db.Set(datalog.Pred("r"), r)
+	m := NewModel(db)
+	sat := &Atom{Pred: "r", Args: []datalog.Term{datalog.V("X")}}
+	if !m.Sat(sat) {
+		t.Error("∃X r(X) should hold")
+	}
+	unsat := NewAnd(sat, NewNot(sat))
+	if m.Sat(unsat) {
+		t.Error("contradiction should not hold")
+	}
+}

@@ -1,0 +1,396 @@
+// Package fol is the first-order-logic substrate of the validation
+// algorithm: FO formulas, the Datalog-to-FO unfolding used in the proof of
+// Lemma 3.1, the linear-view normal form and φ1/φ2/φ3 decomposition of
+// Lemma 4.2 (Claim 1), finite-model evaluation, and the translation from
+// safe-range FO formulas back to Datalog queries (Appendix B), which is how
+// the view definition get is derived from a putback program.
+package fol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"birds/internal/datalog"
+)
+
+// Formula is a first-order formula over relational atoms, equalities and
+// comparisons. Implementations: *Atom, *Cmp, *Not, *And, *Or, *Exists,
+// Truth.
+type Formula interface {
+	isFormula()
+	String() string
+}
+
+// Atom is a relational atom r(t1, ..., tk). After unfolding, every atom
+// refers to an EDB relation. Terms are datalog terms restricted to
+// variables and constants (no anonymous variables).
+type Atom struct {
+	Pred string
+	Args []datalog.Term
+}
+
+// Cmp is a built-in predicate t1 op t2.
+type Cmp struct {
+	Op   datalog.CmpOp
+	L, R datalog.Term
+}
+
+// Not is negation.
+type Not struct {
+	F Formula
+}
+
+// And is conjunction; an empty And is ⊤.
+type And struct {
+	Fs []Formula
+}
+
+// Or is disjunction; an empty Or is ⊥.
+type Or struct {
+	Fs []Formula
+}
+
+// Exists is existential quantification over one or more variables.
+type Exists struct {
+	Vars []string
+	F    Formula
+}
+
+// Truth is a truth constant: ⊤ or ⊥.
+type Truth struct {
+	B bool
+}
+
+func (*Atom) isFormula()   {}
+func (*Cmp) isFormula()    {}
+func (*Not) isFormula()    {}
+func (*And) isFormula()    {}
+func (*Or) isFormula()     {}
+func (*Exists) isFormula() {}
+func (Truth) isFormula()   {}
+
+// True and False are the truth constants.
+var (
+	True  = Truth{B: true}
+	False = Truth{B: false}
+)
+
+func (a *Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Pred + "(" + strings.Join(parts, ",") + ")"
+}
+
+func (c *Cmp) String() string {
+	return c.L.String() + " " + c.Op.String() + " " + c.R.String()
+}
+
+func (n *Not) String() string { return "¬(" + n.F.String() + ")" }
+
+func (a *And) String() string {
+	if len(a.Fs) == 0 {
+		return "⊤"
+	}
+	parts := make([]string, len(a.Fs))
+	for i, f := range a.Fs {
+		parts[i] = f.String()
+	}
+	return "(" + strings.Join(parts, " ∧ ") + ")"
+}
+
+func (o *Or) String() string {
+	if len(o.Fs) == 0 {
+		return "⊥"
+	}
+	parts := make([]string, len(o.Fs))
+	for i, f := range o.Fs {
+		parts[i] = f.String()
+	}
+	return "(" + strings.Join(parts, " ∨ ") + ")"
+}
+
+func (e *Exists) String() string {
+	return "∃" + strings.Join(e.Vars, ",") + ". " + e.F.String()
+}
+
+func (t Truth) String() string {
+	if t.B {
+		return "⊤"
+	}
+	return "⊥"
+}
+
+// NewAnd builds a conjunction, flattening nested Ands and truth constants.
+func NewAnd(fs ...Formula) Formula {
+	var out []Formula
+	for _, f := range fs {
+		switch g := f.(type) {
+		case Truth:
+			if !g.B {
+				return False
+			}
+		case *And:
+			out = append(out, g.Fs...)
+		default:
+			out = append(out, f)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return True
+	case 1:
+		return out[0]
+	}
+	return &And{Fs: out}
+}
+
+// NewOr builds a disjunction, flattening nested Ors and truth constants.
+func NewOr(fs ...Formula) Formula {
+	var out []Formula
+	for _, f := range fs {
+		switch g := f.(type) {
+		case Truth:
+			if g.B {
+				return True
+			}
+		case *Or:
+			out = append(out, g.Fs...)
+		default:
+			out = append(out, f)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return False
+	case 1:
+		return out[0]
+	}
+	return &Or{Fs: out}
+}
+
+// NewNot builds a negation, folding double negation and truth constants.
+func NewNot(f Formula) Formula {
+	switch g := f.(type) {
+	case Truth:
+		return Truth{B: !g.B}
+	case *Not:
+		return g.F
+	}
+	return &Not{F: f}
+}
+
+// NewExists quantifies f over vars, dropping variables that do not occur
+// free in f and collapsing nested quantifiers.
+func NewExists(vars []string, f Formula) Formula {
+	free := FreeVars(f)
+	var kept []string
+	for _, v := range vars {
+		if free[v] {
+			kept = append(kept, v)
+		}
+	}
+	if len(kept) == 0 {
+		return f
+	}
+	if e, ok := f.(*Exists); ok {
+		return &Exists{Vars: append(kept, e.Vars...), F: e.F}
+	}
+	return &Exists{Vars: kept, F: f}
+}
+
+// FreeVars returns the free variables of f.
+func FreeVars(f Formula) map[string]bool {
+	out := make(map[string]bool)
+	collectFree(f, out, make(map[string]bool))
+	return out
+}
+
+func collectFree(f Formula, out, bound map[string]bool) {
+	switch g := f.(type) {
+	case *Atom:
+		for _, t := range g.Args {
+			if t.IsVar() && !bound[t.Var] {
+				out[t.Var] = true
+			}
+		}
+	case *Cmp:
+		for _, t := range []datalog.Term{g.L, g.R} {
+			if t.IsVar() && !bound[t.Var] {
+				out[t.Var] = true
+			}
+		}
+	case *Not:
+		collectFree(g.F, out, bound)
+	case *And:
+		for _, sub := range g.Fs {
+			collectFree(sub, out, bound)
+		}
+	case *Or:
+		for _, sub := range g.Fs {
+			collectFree(sub, out, bound)
+		}
+	case *Exists:
+		inner := make(map[string]bool, len(bound)+len(g.Vars))
+		for v := range bound {
+			inner[v] = true
+		}
+		for _, v := range g.Vars {
+			inner[v] = true
+		}
+		collectFree(g.F, out, inner)
+	case Truth:
+	}
+}
+
+// SortedFreeVars returns the free variables of f in sorted order.
+func SortedFreeVars(f Formula) []string {
+	m := FreeVars(f)
+	out := make([]string, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Preds returns the set of predicate names occurring in f.
+func Preds(f Formula) map[string]bool {
+	out := make(map[string]bool)
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case *Atom:
+			out[g.Pred] = true
+		case *Not:
+			walk(g.F)
+		case *And:
+			for _, s := range g.Fs {
+				walk(s)
+			}
+		case *Or:
+			for _, s := range g.Fs {
+				walk(s)
+			}
+		case *Exists:
+			walk(g.F)
+		}
+	}
+	walk(f)
+	return out
+}
+
+// Fresh generates fresh variable names.
+type Fresh struct {
+	n      int
+	prefix string
+}
+
+// NewFresh returns a generator producing prefix0, prefix1, ...
+func NewFresh(prefix string) *Fresh { return &Fresh{prefix: prefix} }
+
+// Next returns the next fresh name.
+func (f *Fresh) Next() string {
+	f.n++
+	return fmt.Sprintf("%s%d", f.prefix, f.n)
+}
+
+// Substitute applies a variable substitution to f, renaming every bound
+// variable to a fresh name first so capture cannot occur.
+func Substitute(f Formula, sub map[string]datalog.Term, fresh *Fresh) Formula {
+	return subst(f, sub, fresh)
+}
+
+func substTerm(t datalog.Term, sub map[string]datalog.Term) datalog.Term {
+	if t.IsVar() {
+		if r, ok := sub[t.Var]; ok {
+			return r
+		}
+	}
+	return t
+}
+
+func subst(f Formula, sub map[string]datalog.Term, fresh *Fresh) Formula {
+	switch g := f.(type) {
+	case *Atom:
+		args := make([]datalog.Term, len(g.Args))
+		for i, t := range g.Args {
+			args[i] = substTerm(t, sub)
+		}
+		return &Atom{Pred: g.Pred, Args: args}
+	case *Cmp:
+		return &Cmp{Op: g.Op, L: substTerm(g.L, sub), R: substTerm(g.R, sub)}
+	case *Not:
+		return NewNot(subst(g.F, sub, fresh))
+	case *And:
+		out := make([]Formula, len(g.Fs))
+		for i, s := range g.Fs {
+			out[i] = subst(s, sub, fresh)
+		}
+		return NewAnd(out...)
+	case *Or:
+		out := make([]Formula, len(g.Fs))
+		for i, s := range g.Fs {
+			out[i] = subst(s, sub, fresh)
+		}
+		return NewOr(out...)
+	case *Exists:
+		inner := make(map[string]datalog.Term, len(sub)+len(g.Vars))
+		for k, v := range sub {
+			inner[k] = v
+		}
+		vars := make([]string, len(g.Vars))
+		for i, v := range g.Vars {
+			nv := fresh.Next()
+			vars[i] = nv
+			inner[v] = datalog.V(nv)
+		}
+		return NewExists(vars, subst(g.F, inner, fresh))
+	default:
+		return f
+	}
+}
+
+// Equal reports structural equality of formulas (after construction-time
+// normalization; it does not attempt semantic equivalence).
+func Equal(a, b Formula) bool { return a.String() == b.String() }
+
+// Constants returns every constant occurring in f.
+func Constants(f Formula) []datalog.Term {
+	var out []datalog.Term
+	seen := make(map[string]bool)
+	addTerm := func(t datalog.Term) {
+		if t.IsConst() && !seen[t.String()] {
+			seen[t.String()] = true
+			out = append(out, t)
+		}
+	}
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case *Atom:
+			for _, t := range g.Args {
+				addTerm(t)
+			}
+		case *Cmp:
+			addTerm(g.L)
+			addTerm(g.R)
+		case *Not:
+			walk(g.F)
+		case *And:
+			for _, s := range g.Fs {
+				walk(s)
+			}
+		case *Or:
+			for _, s := range g.Fs {
+				walk(s)
+			}
+		case *Exists:
+			walk(g.F)
+		}
+	}
+	walk(f)
+	return out
+}

@@ -1,0 +1,332 @@
+package fol
+
+import (
+	"sort"
+
+	"birds/internal/datalog"
+)
+
+// This file implements the formal apparatus of Appendix B: safe-range
+// normal form (SRNF), the range-restricted-variable computation rr(φ), the
+// safe-range test, and the guarded-negation (GNFO) syntax check of §3.2 /
+// Lemma 3.1. ToDatalog (todatalog.go) consumes formulas in this shape.
+
+// ToSRNF rewrites a formula into safe-range normal form: no universal
+// quantifiers or implications exist in this AST to begin with, so SRNF
+// amounts to pushing negation through double negations, conjunctions and
+// disjunctions until no ∧ or ∨ occurs directly below a ¬.
+func ToSRNF(f Formula) Formula {
+	switch g := f.(type) {
+	case *Not:
+		switch inner := g.F.(type) {
+		case *Not:
+			return ToSRNF(inner.F)
+		case *And:
+			out := make([]Formula, len(inner.Fs))
+			for i, s := range inner.Fs {
+				out[i] = ToSRNF(NewNot(s))
+			}
+			return NewOr(out...)
+		case *Or:
+			out := make([]Formula, len(inner.Fs))
+			for i, s := range inner.Fs {
+				out[i] = ToSRNF(NewNot(s))
+			}
+			return NewAnd(out...)
+		case Truth:
+			return Truth{B: !inner.B}
+		default:
+			return NewNot(ToSRNF(g.F))
+		}
+	case *And:
+		out := make([]Formula, len(g.Fs))
+		for i, s := range g.Fs {
+			out[i] = ToSRNF(s)
+		}
+		return NewAnd(out...)
+	case *Or:
+		out := make([]Formula, len(g.Fs))
+		for i, s := range g.Fs {
+			out[i] = ToSRNF(s)
+		}
+		return NewOr(out...)
+	case *Exists:
+		return NewExists(g.Vars, ToSRNF(g.F))
+	default:
+		return f
+	}
+}
+
+// rrResult is the result of the range-restriction computation: either a
+// set of variables or ⊥ (some quantified variable is not restricted).
+type rrResult struct {
+	bottom bool
+	vars   map[string]bool
+}
+
+func rrVars(vs ...string) rrResult {
+	m := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		m[v] = true
+	}
+	return rrResult{vars: m}
+}
+
+func (r rrResult) union(o rrResult) rrResult {
+	if r.bottom || o.bottom {
+		return rrResult{bottom: true}
+	}
+	out := make(map[string]bool, len(r.vars)+len(o.vars))
+	for v := range r.vars {
+		out[v] = true
+	}
+	for v := range o.vars {
+		out[v] = true
+	}
+	return rrResult{vars: out}
+}
+
+func (r rrResult) intersect(o rrResult) rrResult {
+	// ⊥ ∩ Z = ⊥ per Appendix B.
+	if r.bottom || o.bottom {
+		return rrResult{bottom: true}
+	}
+	out := make(map[string]bool)
+	for v := range r.vars {
+		if o.vars[v] {
+			out[v] = true
+		}
+	}
+	return rrResult{vars: out}
+}
+
+// RangeRestricted computes rr(φ) following the inductive definition of
+// Appendix B (extended with comparison predicates, which restrict
+// nothing). The formula should be in SRNF.
+func RangeRestricted(f Formula) rrResult {
+	switch g := f.(type) {
+	case *Atom:
+		var vs []string
+		for _, t := range g.Args {
+			if t.IsVar() {
+				vs = append(vs, t.Var)
+			}
+		}
+		return rrVars(vs...)
+	case *Cmp:
+		// x = a restricts x; x < a etc. restrict nothing.
+		if g.Op == datalog.OpEq {
+			if g.L.IsVar() && g.R.IsConst() {
+				return rrVars(g.L.Var)
+			}
+			if g.R.IsVar() && g.L.IsConst() {
+				return rrVars(g.R.Var)
+			}
+		}
+		return rrVars()
+	case *Not:
+		return rrVars()
+	case *And:
+		// Conjunction unions; x = y equalities extend the set when one
+		// side is already restricted.
+		out := rrVars()
+		var eqs []*Cmp
+		for _, s := range g.Fs {
+			if c, ok := s.(*Cmp); ok && c.Op == datalog.OpEq && c.L.IsVar() && c.R.IsVar() {
+				eqs = append(eqs, c)
+				continue
+			}
+			out = out.union(RangeRestricted(s))
+		}
+		if out.bottom {
+			return out
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, c := range eqs {
+				l, r := out.vars[c.L.Var], out.vars[c.R.Var]
+				if l != r {
+					out.vars[c.L.Var] = true
+					out.vars[c.R.Var] = true
+					changed = true
+				}
+			}
+		}
+		return out
+	case *Or:
+		if len(g.Fs) == 0 {
+			return rrVars()
+		}
+		out := RangeRestricted(g.Fs[0])
+		for _, s := range g.Fs[1:] {
+			out = out.intersect(RangeRestricted(s))
+		}
+		return out
+	case *Exists:
+		inner := RangeRestricted(g.F)
+		if inner.bottom {
+			return inner
+		}
+		for _, v := range g.Vars {
+			if !inner.vars[v] {
+				return rrResult{bottom: true}
+			}
+		}
+		out := rrVars()
+		for v := range inner.vars {
+			out.vars[v] = true
+		}
+		for _, v := range g.Vars {
+			delete(out.vars, v)
+		}
+		return out
+	default: // Truth
+		return rrVars()
+	}
+}
+
+// IsSafeRange reports whether φ is a safe-range formula:
+// rr(φ) = free(φ). The formula is normalized to SRNF first.
+func IsSafeRange(f Formula) bool {
+	n := ToSRNF(f)
+	rr := RangeRestricted(n)
+	if rr.bottom {
+		return false
+	}
+	free := FreeVars(n)
+	if len(rr.vars) != len(free) {
+		return false
+	}
+	for v := range free {
+		if !rr.vars[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsGNFO reports whether φ is a guarded-negation first-order formula per
+// the grammar of Bárány et al. used in §3.2:
+//
+//	φ ::= R(t...) | t1 = t2 | φ∧φ | φ∨φ | ∃x φ | α ∧ ¬φ
+//
+// where, in α ∧ ¬φ, the guard α is an atom (or an equality with a
+// constant) containing every free variable of φ. Comparisons of a variable
+// against a constant are admitted like unary atoms (the C<c/C>c encoding of
+// Lemma 3.1's proof).
+func IsGNFO(f Formula) bool { return gnfo(f) }
+
+func gnfo(f Formula) bool {
+	switch g := f.(type) {
+	case *Atom, Truth:
+		return true
+	case *Cmp:
+		// Equality freely; comparisons only variable-vs-constant.
+		if g.Op == datalog.OpEq {
+			return true
+		}
+		lv, rv := g.L.IsVar(), g.R.IsVar()
+		return (lv && g.R.IsConst()) || (rv && g.L.IsConst()) || (!lv && !rv)
+	case *Exists:
+		return gnfo(g.F)
+	case *Or:
+		for _, s := range g.Fs {
+			if !gnfo(s) {
+				return false
+			}
+		}
+		return true
+	case *And:
+		// Every negated conjunct must be guarded by positive conjuncts.
+		guards := guardedSets(g.Fs)
+		for _, s := range g.Fs {
+			n, ok := s.(*Not)
+			if !ok {
+				if !gnfo(s) {
+					return false
+				}
+				continue
+			}
+			if !gnfo(n.F) {
+				return false
+			}
+			if !coveredByGuard(FreeVars(n.F), guards) {
+				return false
+			}
+		}
+		return true
+	case *Not:
+		// A bare negation is guarded only if it has no free variables.
+		return gnfo(g.F) && len(FreeVars(g.F)) == 0
+	default:
+		return false
+	}
+}
+
+// guardedSets collects, from the positive conjuncts, the variable sets
+// usable as guards: each positive atom's variables, extended by variables
+// equated to constants (which guard themselves, per Lemma 3.1's proof).
+func guardedSets(fs []Formula) (sets []map[string]bool) {
+	constVars := make(map[string]bool)
+	for _, s := range fs {
+		if c, ok := s.(*Cmp); ok && c.Op == datalog.OpEq {
+			if c.L.IsVar() && c.R.IsConst() {
+				constVars[c.L.Var] = true
+			}
+			if c.R.IsVar() && c.L.IsConst() {
+				constVars[c.R.Var] = true
+			}
+		}
+	}
+	for _, s := range fs {
+		if a, ok := s.(*Atom); ok {
+			set := make(map[string]bool, len(a.Args))
+			for _, t := range a.Args {
+				if t.IsVar() {
+					set[t.Var] = true
+				}
+			}
+			for v := range constVars {
+				set[v] = true
+			}
+			sets = append(sets, set)
+		}
+	}
+	if len(sets) == 0 && len(constVars) > 0 {
+		sets = append(sets, constVars)
+	}
+	return sets
+}
+
+func coveredByGuard(free map[string]bool, guards []map[string]bool) bool {
+	if len(free) == 0 {
+		return true
+	}
+	for _, g := range guards {
+		ok := true
+		for v := range free {
+			if !g[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// SortedRR returns rr(φ) as a sorted slice (⊥ reported separately), for
+// tests and diagnostics.
+func SortedRR(f Formula) (vars []string, bottom bool) {
+	rr := RangeRestricted(ToSRNF(f))
+	if rr.bottom {
+		return nil, true
+	}
+	for v := range rr.vars {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return vars, false
+}

@@ -1,0 +1,184 @@
+package fol
+
+import (
+	"testing"
+
+	"birds/internal/datalog"
+)
+
+func atomF(pred string, vars ...string) *Atom {
+	args := make([]datalog.Term, len(vars))
+	for i, v := range vars {
+		args[i] = datalog.V(v)
+	}
+	return &Atom{Pred: pred, Args: args}
+}
+
+func TestToSRNF(t *testing.T) {
+	a, b := atomF("r", "X"), atomF("s", "X")
+	// ¬(a ∧ b) → ¬a ∨ ¬b
+	f := ToSRNF(NewNot(NewAnd(a, b)))
+	if or, ok := f.(*Or); !ok || len(or.Fs) != 2 {
+		t.Errorf("De Morgan ∧ failed: %s", f)
+	}
+	// ¬(a ∨ b) → ¬a ∧ ¬b
+	f = ToSRNF(NewNot(NewOr(a, b)))
+	if and, ok := f.(*And); !ok || len(and.Fs) != 2 {
+		t.Errorf("De Morgan ∨ failed: %s", f)
+	}
+	// ¬¬a → a
+	if g := ToSRNF(NewNot(NewNot(a))); !Equal(g, a) {
+		t.Errorf("double negation not folded: %s", g)
+	}
+	// Truth folding under negation.
+	if ToSRNF(NewNot(True)) != False {
+		t.Error("¬⊤ should fold to ⊥")
+	}
+	// No ∧/∨ directly under ¬ anywhere in the result.
+	deep := NewNot(NewAnd(a, NewNot(NewOr(b, a))))
+	var check func(Formula) bool
+	check = func(f Formula) bool {
+		switch g := f.(type) {
+		case *Not:
+			switch g.F.(type) {
+			case *And, *Or:
+				return false
+			}
+			return check(g.F)
+		case *And:
+			for _, s := range g.Fs {
+				if !check(s) {
+					return false
+				}
+			}
+		case *Or:
+			for _, s := range g.Fs {
+				if !check(s) {
+					return false
+				}
+			}
+		case *Exists:
+			return check(g.F)
+		}
+		return true
+	}
+	if got := ToSRNF(deep); !check(got) {
+		t.Errorf("SRNF violated: %s", got)
+	}
+}
+
+func TestRangeRestricted(t *testing.T) {
+	a := atomF("r", "X", "Y")
+	eqConst := &Cmp{Op: datalog.OpEq, L: datalog.V("Z"), R: datalog.CInt(1)}
+	eqVar := &Cmp{Op: datalog.OpEq, L: datalog.V("Z"), R: datalog.V("X")}
+	cmp := &Cmp{Op: datalog.OpLt, L: datalog.V("W"), R: datalog.CInt(5)}
+
+	if vars, bottom := SortedRR(a); bottom || len(vars) != 2 {
+		t.Errorf("rr(atom) = %v,%v", vars, bottom)
+	}
+	if vars, _ := SortedRR(NewAnd(a, eqConst)); len(vars) != 3 {
+		t.Errorf("rr with x=c = %v", vars)
+	}
+	if vars, _ := SortedRR(NewAnd(a, eqVar)); len(vars) != 3 {
+		t.Errorf("rr with x=y chain = %v", vars)
+	}
+	if vars, _ := SortedRR(NewAnd(a, cmp)); len(vars) != 2 {
+		t.Errorf("comparison should not restrict: %v", vars)
+	}
+	// Disjunction intersects.
+	if vars, _ := SortedRR(NewOr(atomF("r", "X", "Y"), atomF("s", "X"))); len(vars) != 1 || vars[0] != "X" {
+		t.Errorf("rr(∨) = %v", vars)
+	}
+	// ∃ with unrestricted quantified variable → ⊥.
+	bad := NewExists([]string{"Q"}, NewAnd(a, NewNot(atomF("s", "Q", "X"))))
+	if _, bottom := SortedRR(bad); !bottom {
+		t.Error("unrestricted quantified variable should give ⊥")
+	}
+}
+
+func TestIsSafeRange(t *testing.T) {
+	a := atomF("r", "X", "Y")
+	cases := []struct {
+		f    Formula
+		want bool
+	}{
+		{a, true},
+		{NewAnd(a, NewNot(atomF("s", "X"))), true},
+		{NewNot(atomF("s", "X")), false},   // free var only under ¬
+		{NewOr(a, atomF("s", "X")), false}, // disjuncts restrict different sets
+		{NewExists([]string{"Y"}, a), true},
+		{NewAnd(atomF("s", "X"), &Cmp{Op: datalog.OpEq, L: datalog.V("Y"), R: datalog.CInt(3)}), true},
+	}
+	for i, c := range cases {
+		if got := IsSafeRange(c.f); got != c.want {
+			t.Errorf("case %d: IsSafeRange(%s) = %v, want %v", i, c.f, got, c.want)
+		}
+	}
+}
+
+func TestIsGNFO(t *testing.T) {
+	r := atomF("r", "X", "Y")
+	sXY := atomF("s", "X", "Y")
+	sX := atomF("s", "X")
+	cases := []struct {
+		name string
+		f    Formula
+		want bool
+	}{
+		{"atom", r, true},
+		{"guarded negation", NewAnd(r, NewNot(sXY)), true},
+		{"guard covers subset", NewAnd(r, NewNot(sX)), true},
+		{"unguarded negation", NewAnd(sX, NewNot(sXY)), false}, // Y not covered
+		{"negated sentence", NewNot(NewExists([]string{"X"}, sX)), true},
+		{"bare negation with free var", NewNot(sX), false},
+		{"equality guard", NewAnd(
+			&Cmp{Op: datalog.OpEq, L: datalog.V("X"), R: datalog.CInt(1)},
+			NewNot(sX)), true},
+		{"var-const comparison", NewAnd(r, &Cmp{Op: datalog.OpGt, L: datalog.V("X"), R: datalog.CInt(2)}), true},
+		{"var-var comparison", NewAnd(r, &Cmp{Op: datalog.OpLt, L: datalog.V("X"), R: datalog.V("Y")}), false},
+		{"disjunction", NewOr(r, sXY), true},
+	}
+	for _, c := range cases {
+		if got := IsGNFO(c.f); got != c.want {
+			t.Errorf("%s: IsGNFO(%s) = %v, want %v", c.name, c.f, got, c.want)
+		}
+	}
+}
+
+// Unfolded LVGN programs must produce GNFO formulas (the core of
+// Lemma 3.1), and derived get definitions must be safe range.
+func TestUnfoldedLVGNIsGNFOAndSafeRange(t *testing.T) {
+	prog := mustProg(t, `
+source r1(a:int).
+source r2(a:int).
+view v(a:int).
+-r1(X) :- r1(X), not v(X).
+-r2(X) :- r2(X), not v(X).
++r1(X) :- v(X), not r1(X), not r2(X).
+`)
+	u := NewUnfolder(prog)
+	for _, sym := range []datalog.PredSym{datalog.Del("r1"), datalog.Del("r2"), datalog.Ins("r1")} {
+		f := u.Pred(sym, QueryVars(1))
+		if !IsGNFO(f) {
+			t.Errorf("unfolded %s is not GNFO: %s", sym, f)
+		}
+		if !IsSafeRange(f) {
+			t.Errorf("unfolded %s is not safe range: %s", sym, f)
+		}
+	}
+}
+
+// The inner-join definition of footnote 6 is not guarded negation when it
+// appears under negation spanning two atoms.
+func TestFootnote7PrimaryKeyNotGNFO(t *testing.T) {
+	// ∃B1,B2: r(A,B1) ∧ r(A,B2) ∧ ¬(B1 = B2) — the negated equality's
+	// variables span two different atoms, so no single guard covers them.
+	f := NewExists([]string{"B1", "B2"}, NewAnd(
+		atomF("r", "A", "B1"),
+		atomF("r", "A", "B2"),
+		NewNot(&Cmp{Op: datalog.OpEq, L: datalog.V("B1"), R: datalog.V("B2")}),
+	))
+	if IsGNFO(f) {
+		t.Error("primary-key constraint body should not be GNFO (footnote 7)")
+	}
+}

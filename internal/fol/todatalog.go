@@ -1,0 +1,178 @@
+package fol
+
+import (
+	"fmt"
+
+	"birds/internal/analysis"
+	"birds/internal/datalog"
+)
+
+// ToDatalog translates a safe-range FO formula f with the given free
+// variables into an equivalent Datalog query: a set of rules defining
+// goal(free...), possibly with auxiliary predicates for nested negated
+// subformulas (Appendix B of the paper).
+//
+// Nested negations that are not safe-range on their own are repaired with
+// the push-into-negated-quantifier rewriting of Appendix B: the positive
+// conjuncts of the enclosing conjunction are pushed inside the negation
+// (p ∧ ¬q ≡ p ∧ ¬(p ∧ q)).
+func ToDatalog(f Formula, free []string, goal string) ([]*datalog.Rule, error) {
+	tr := &translator{prefix: goal}
+	if err := tr.translate(f, free, goal); err != nil {
+		return nil, err
+	}
+	return tr.rules, nil
+}
+
+type translator struct {
+	rules  []*datalog.Rule
+	prefix string
+	nAux   int
+}
+
+func (tr *translator) nextAux() string {
+	tr.nAux++
+	return fmt.Sprintf("%s_nf%d", tr.prefix, tr.nAux)
+}
+
+func (tr *translator) translate(f Formula, free []string, goal string) error {
+	djs := DisjunctiveForm(f)
+	for _, c := range djs {
+		if err := tr.buildRule(c, free, goal); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildRule emits one rule goal(free...) :- conjunct. Nested negated
+// subformulas become auxiliary predicates.
+func (tr *translator) buildRule(c Conjunct, free []string, goal string) error {
+	if len(free) == 0 {
+		return fmt.Errorf("fol: cannot translate a sentence (nullary query) to Datalog")
+	}
+	// Positive atoms of the conjunct, used as guards for unsafe nested
+	// negations.
+	var positives []Formula
+	for _, part := range c.Parts {
+		if a, ok := part.(*Atom); ok {
+			positives = append(positives, a)
+		}
+	}
+
+	var body []datalog.Literal
+	for _, part := range c.Parts {
+		switch g := part.(type) {
+		case Truth:
+			if !g.B {
+				return nil // unsatisfiable disjunct: no rule
+			}
+		case *Atom:
+			body = append(body, datalog.Pos(atomToDatalog(g)))
+		case *Cmp:
+			body = append(body, datalog.Literal{Builtin: &datalog.Builtin{Op: g.Op, L: g.L, R: g.R}})
+		case *Not:
+			lit, err := tr.negLiteral(g.F, positives)
+			if err != nil {
+				return err
+			}
+			body = append(body, *lit)
+		default:
+			return fmt.Errorf("fol: unexpected %T conjunct after normalization", part)
+		}
+	}
+
+	// Drop duplicate conjuncts (common after unfolding, e.g. the r(Y) ∧
+	// ... ∧ r(Y) shape of the GetPut sentences).
+	seen := make(map[string]bool, len(body))
+	dedup := body[:0]
+	for _, l := range body {
+		k := l.String()
+		if !seen[k] {
+			seen[k] = true
+			dedup = append(dedup, l)
+		}
+	}
+	body = dedup
+
+	headArgs := make([]datalog.Term, len(free))
+	for i, v := range free {
+		headArgs[i] = datalog.V(v)
+	}
+	rule := datalog.NewRule(datalog.NewAtom(datalog.Pred(goal), headArgs...), body...)
+	if err := analysis.CheckRuleSafety(rule); err != nil {
+		return fmt.Errorf("fol: derived rule is not range restricted: %w", err)
+	}
+	tr.rules = append(tr.rules, rule)
+	return nil
+}
+
+// negLiteral converts a negated subformula into a body literal, creating an
+// auxiliary predicate when the subformula is not atomic.
+func (tr *translator) negLiteral(inner Formula, positives []Formula) (*datalog.Literal, error) {
+	switch g := inner.(type) {
+	case *Atom:
+		l := datalog.Negated(atomToDatalog(g))
+		return &l, nil
+	case *Cmp:
+		l := datalog.NegCmp(g.Op, g.L, g.R)
+		return &l, nil
+	case Truth:
+		if g.B {
+			return nil, fmt.Errorf("fol: conjunct ¬⊤ is unsatisfiable")
+		}
+		// ¬⊥ is trivially true: encode as 0 = 0.
+		l := datalog.Cmp(datalog.OpEq, datalog.CInt(0), datalog.CInt(0))
+		return &l, nil
+	}
+
+	W := SortedFreeVars(inner)
+	if len(W) == 0 {
+		return nil, fmt.Errorf("fol: nested negated sentence %s has no free variables; push a guard first", inner)
+	}
+
+	// First attempt: translate the subformula as is.
+	if lit, err := tr.tryAux(inner, W); err == nil {
+		return lit, nil
+	}
+
+	// Repair: push the positive guards of the enclosing conjunction inside
+	// the negation (p ∧ ¬q ≡ p ∧ ¬(p ∧ q)), then quantify the guard-only
+	// variables.
+	guarded := NewAnd(append(append([]Formula{}, positives...), inner)...)
+	wSet := make(map[string]bool, len(W))
+	for _, v := range W {
+		wSet[v] = true
+	}
+	var extra []string
+	for _, v := range SortedFreeVars(guarded) {
+		if !wSet[v] {
+			extra = append(extra, v)
+		}
+	}
+	return tr.tryAux(NewExists(extra, guarded), W)
+}
+
+// tryAux translates sub as an auxiliary predicate over free variables W and
+// returns the literal ¬aux(W...). Rules are only committed on success.
+func (tr *translator) tryAux(sub Formula, W []string) (*datalog.Literal, error) {
+	attempt := &translator{prefix: tr.prefix, nAux: tr.nAux}
+	name := attempt.nextAux()
+	if err := attempt.translate(sub, W, name); err != nil {
+		return nil, err
+	}
+	tr.rules = append(tr.rules, attempt.rules...)
+	tr.nAux = attempt.nAux
+	args := make([]datalog.Term, len(W))
+	for i, v := range W {
+		args[i] = datalog.V(v)
+	}
+	l := datalog.Negated(datalog.NewAtom(datalog.Pred(name), args...))
+	return &l, nil
+}
+
+// atomToDatalog converts an FO atom back to a Datalog atom, decoding the
+// +r / -r delta-predicate encoding.
+func atomToDatalog(a *Atom) *datalog.Atom {
+	return datalog.NewAtom(predSym(a.Pred), a.Args...)
+}

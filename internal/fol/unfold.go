@@ -1,0 +1,164 @@
+package fol
+
+import (
+	"fmt"
+
+	"birds/internal/datalog"
+)
+
+// Unfolder translates Datalog queries over a program into equivalent FO
+// formulas, following the inductive construction in the proof of Lemma 3.1:
+// an IDB predicate unfolds into the disjunction over its rules of the
+// existential closure of its body, with IDB body atoms unfolded recursively
+// and every other predicate kept as an EDB atom.
+type Unfolder struct {
+	prog  *datalog.Program
+	rules map[datalog.PredSym][]*datalog.Rule
+	fresh *Fresh
+}
+
+// NewUnfolder prepares an unfolder for the program. The program must be
+// nonrecursive (callers are expected to have run analysis.Stratify).
+func NewUnfolder(prog *datalog.Program) *Unfolder {
+	u := &Unfolder{
+		prog:  prog,
+		rules: make(map[datalog.PredSym][]*datalog.Rule),
+		fresh: NewFresh("_u"),
+	}
+	for _, r := range prog.Rules {
+		if !r.IsConstraint() {
+			u.rules[r.Head.Pred] = append(u.rules[r.Head.Pred], r)
+		}
+	}
+	return u
+}
+
+// IsIDB reports whether sym is defined by rules in the program.
+func (u *Unfolder) IsIDB(sym datalog.PredSym) bool { return len(u.rules[sym]) > 0 }
+
+// Pred returns the FO formula asserting sym(args), with IDB predicates
+// unfolded. args must contain only variables and constants (use fresh
+// variables in place of anonymous ones).
+func (u *Unfolder) Pred(sym datalog.PredSym, args []datalog.Term) Formula {
+	rules := u.rules[sym]
+	if len(rules) == 0 {
+		// EDB atom: delta-marked EDB predicates keep their marker in the
+		// predicate name so +v / -v remain distinct relations.
+		return &Atom{Pred: sym.String(), Args: args}
+	}
+	disjuncts := make([]Formula, 0, len(rules))
+	for _, r := range rules {
+		disjuncts = append(disjuncts, u.rule(r, args))
+	}
+	return NewOr(disjuncts...)
+}
+
+// rule instantiates one rule of sym at the given call arguments.
+func (u *Unfolder) rule(r *datalog.Rule, args []datalog.Term) Formula {
+	if len(args) != r.Head.Arity() {
+		panic(fmt.Sprintf("fol: arity mismatch unfolding %s", r.Head.Pred))
+	}
+	// Map rule head variables to the call arguments; repeated head
+	// variables and head constants become equalities.
+	sub := make(map[string]datalog.Term)
+	var conj []Formula
+	for i, ht := range r.Head.Args {
+		call := args[i]
+		switch {
+		case ht.IsConst():
+			conj = append(conj, &Cmp{Op: datalog.OpEq, L: call, R: ht})
+		case ht.IsVar():
+			if prev, ok := sub[ht.Var]; ok {
+				conj = append(conj, &Cmp{Op: datalog.OpEq, L: call, R: prev})
+			} else {
+				sub[ht.Var] = call
+			}
+		default:
+			panic("fol: anonymous variable in rule head")
+		}
+	}
+	body, exist := u.bodyFormulas(r.Body, sub)
+	conj = append(conj, body...)
+	return NewExists(exist, NewAnd(conj...))
+}
+
+// bodyFormulas converts rule-body literals to formulas under the variable
+// substitution sub, allocating fresh existential variables for unmapped
+// rule variables. Anonymous variables in a positive atom become rule-level
+// existentials; anonymous variables in a negated atom are quantified
+// inside the negation — ¬ced(E,_) means ¬∃D ced(E,D), the NOT EXISTS
+// semantics the evaluator implements.
+func (u *Unfolder) bodyFormulas(body []datalog.Literal, sub map[string]datalog.Term) ([]Formula, []string) {
+	var out []Formula
+	var exist []string
+	mapVar := func(t datalog.Term) datalog.Term {
+		if r, ok := sub[t.Var]; ok {
+			return r
+		}
+		v := u.fresh.Next()
+		sub[t.Var] = datalog.V(v)
+		exist = append(exist, v)
+		return datalog.V(v)
+	}
+	for _, l := range body {
+		var f Formula
+		if l.Atom != nil {
+			var local []string
+			mapped := make([]datalog.Term, len(l.Atom.Args))
+			for i, t := range l.Atom.Args {
+				switch t.Kind {
+				case datalog.TermAnon:
+					v := u.fresh.Next()
+					if l.Neg {
+						local = append(local, v)
+					} else {
+						exist = append(exist, v)
+					}
+					mapped[i] = datalog.V(v)
+				case datalog.TermVar:
+					mapped[i] = mapVar(t)
+				default:
+					mapped[i] = t
+				}
+			}
+			f = u.Pred(l.Atom.Pred, mapped)
+			if l.Neg {
+				f = NewNot(NewExists(local, f))
+			}
+		} else {
+			m := func(t datalog.Term) datalog.Term {
+				if t.Kind == datalog.TermVar {
+					return mapVar(t)
+				}
+				return t
+			}
+			f = &Cmp{Op: l.Builtin.Op, L: m(l.Builtin.L), R: m(l.Builtin.R)}
+			if l.Neg {
+				f = NewNot(f)
+			}
+		}
+		out = append(out, f)
+	}
+	return out, exist
+}
+
+// QueryVars returns canonical free variables Y1..Yk for a query of arity k.
+func QueryVars(k int) []datalog.Term {
+	out := make([]datalog.Term, k)
+	for i := range out {
+		out[i] = datalog.V(fmt.Sprintf("Y%d", i+1))
+	}
+	return out
+}
+
+// ConstraintSentence converts an integrity constraint ⊥ :- body into the
+// existentially closed sentence ∃X, Φ(X) whose unsatisfiability over
+// (S, V) is required by the constraint, unfolding IDB predicates.
+func (u *Unfolder) ConstraintSentence(r *datalog.Rule) Formula {
+	if !r.IsConstraint() {
+		panic("fol: ConstraintSentence on a non-constraint rule")
+	}
+	// Every body variable is existential.
+	body, exist := u.bodyFormulas(r.Body, make(map[string]datalog.Term))
+	return NewExists(exist, NewAnd(body...))
+}

@@ -1,0 +1,500 @@
+// Package sat is the satisfiability oracle of the validation algorithm —
+// the stand-in for the Z3 theorem prover used by the paper's BIRDS
+// implementation (§6.1).
+//
+// Every check of Algorithm 1 reduces to "does a small database instance
+// exist that witnesses a property?". The oracle searches for such a witness
+// three ways, in order:
+//
+//  1. guided search: the disjuncts of a guide sentence are instantiated as
+//     minimal candidate models (the positive atoms of a disjunct, with
+//     variables assigned from typed domain pools built around the
+//     program's constants and the gaps between them);
+//  2. exhaustive small-scope search over tiny instances, when the state
+//     space fits the budget;
+//  3. randomized search over bounded instances.
+//
+// A found witness is definitive (the property is satisfiable); exhausting
+// the budget without a witness is reported as unsatisfiable-within-bounds.
+// GNFO satisfiability is finitely controllable (Lemma 3.1 relies on this),
+// so small-scope search is the right shape of decision procedure; the
+// substitution and its guarantees are documented in DESIGN.md.
+package sat
+
+import (
+	"math/rand"
+	"sort"
+
+	"birds/internal/datalog"
+	"birds/internal/eval"
+	"birds/internal/fol"
+	"birds/internal/value"
+)
+
+// RelSpec describes one EDB relation the oracle may populate.
+type RelSpec struct {
+	Name  string
+	Types []string // attribute type names: int, float, string, bool, date...
+}
+
+// Arity returns the relation's arity.
+func (r RelSpec) Arity() int { return len(r.Types) }
+
+// SpecsFromDecls converts parser declarations into oracle specs.
+func SpecsFromDecls(decls ...*datalog.RelDecl) []RelSpec {
+	var out []RelSpec
+	for _, d := range decls {
+		types := make([]string, len(d.Attrs))
+		for i, a := range d.Attrs {
+			types[i] = a.Type
+		}
+		out = append(out, RelSpec{Name: d.Name, Types: types})
+	}
+	return out
+}
+
+// Config bounds the oracle's search.
+type Config struct {
+	MaxTuples        int   // tuples per relation in randomized search
+	RandomTrials     int   // number of random instances
+	ExhaustiveBudget int   // max instances enumerated exhaustively
+	GuideBudget      int   // max variable assignments tried in guided search
+	Seed             int64 // PRNG seed (deterministic by default)
+}
+
+// DefaultConfig returns the bounds used by the validator.
+func DefaultConfig() Config {
+	return Config{
+		MaxTuples:        3,
+		RandomTrials:     3000,
+		ExhaustiveBudget: 150000,
+		GuideBudget:      150000,
+		Seed:             1,
+	}
+}
+
+// Problem is one witness search.
+type Problem struct {
+	Rels        []RelSpec
+	ExtraConsts []value.Value // constants seeding the domain pools
+	Guide       fol.Formula   // optional sentence guiding minimal models
+	// Test reports whether db is a witness. It may mutate db's IDB
+	// relations (e.g. by running an evaluator) but must not change the
+	// EDB relations named in Rels.
+	Test func(db *eval.Database) bool
+}
+
+// Oracle runs witness searches under a fixed configuration.
+type Oracle struct {
+	cfg Config
+}
+
+// New returns an oracle with the given configuration.
+func New(cfg Config) *Oracle { return &Oracle{cfg: cfg} }
+
+// Find searches for a witness instance; it returns nil if none was found
+// within the budget.
+func (o *Oracle) Find(p Problem) *eval.Database {
+	pools := buildPools(p.ExtraConsts)
+	if p.Guide != nil {
+		if db := o.guided(p, pools); db != nil {
+			return db
+		}
+	}
+	if db := o.exhaustive(p, pools); db != nil {
+		return db
+	}
+	return o.random(p, pools)
+}
+
+// --- domain pools -------------------------------------------------------
+
+type pools struct {
+	ints    []value.Value
+	floats  []value.Value
+	strings []value.Value
+	bools   []value.Value
+}
+
+// buildPools derives per-type candidate values from the constants of the
+// problem: the constants themselves plus representatives of the gaps
+// between and around them (needed to witness comparison predicates).
+func buildPools(consts []value.Value) *pools {
+	p := &pools{bools: []value.Value{value.Bool(false), value.Bool(true)}}
+
+	var ints []int64
+	var floats []float64
+	var strs []string
+	for _, c := range consts {
+		switch c.Kind() {
+		case value.KindInt:
+			ints = append(ints, c.AsInt())
+		case value.KindFloat:
+			floats = append(floats, c.AsFloat())
+		case value.KindString:
+			strs = append(strs, c.AsString())
+		}
+	}
+
+	addInt := func(v int64) {
+		for _, u := range ints {
+			if u == v {
+				return
+			}
+		}
+		ints = append(ints, v)
+	}
+	if len(ints) == 0 {
+		ints = []int64{0, 1}
+	} else {
+		sorted := append([]int64(nil), ints...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		addInt(sorted[0] - 1)
+		addInt(sorted[len(sorted)-1] + 1)
+		for i := 0; i+1 < len(sorted); i++ {
+			if sorted[i+1]-sorted[i] > 1 {
+				addInt(sorted[i] + 1)
+			}
+		}
+	}
+	sort.Slice(ints, func(i, j int) bool { return ints[i] < ints[j] })
+	for _, v := range ints {
+		p.ints = append(p.ints, value.Int(v))
+	}
+
+	if len(floats) == 0 {
+		p.floats = []value.Value{value.Float(0), value.Float(1)}
+	} else {
+		sort.Float64s(floats)
+		out := []float64{floats[0] - 1}
+		for i, f := range floats {
+			out = append(out, f)
+			if i+1 < len(floats) {
+				out = append(out, (f+floats[i+1])/2)
+			}
+		}
+		out = append(out, floats[len(floats)-1]+1)
+		seen := map[float64]bool{}
+		for _, f := range out {
+			if !seen[f] {
+				seen[f] = true
+				p.floats = append(p.floats, value.Float(f))
+			}
+		}
+	}
+
+	seenStr := map[string]bool{}
+	addStr := func(s string) {
+		if !seenStr[s] {
+			seenStr[s] = true
+			strs = append(strs, s)
+		}
+	}
+	for _, s := range strs {
+		seenStr[s] = true
+	}
+	if len(strs) == 0 {
+		addStr("a")
+		addStr("b")
+	} else {
+		base := append([]string(nil), strs...)
+		addStr("!") // sorts below printable identifiers and digits
+		for _, s := range base {
+			addStr(s + "0") // sorts immediately above s
+		}
+	}
+	sort.Strings(strs)
+	for _, s := range strs {
+		p.strings = append(p.strings, value.Str(s))
+	}
+	return p
+}
+
+// forType returns the pool for an attribute type name.
+func (p *pools) forType(t string) []value.Value {
+	switch t {
+	case "int", "integer":
+		return p.ints
+	case "float", "real":
+		return p.floats
+	case "bool", "boolean":
+		return p.bools
+	default: // string, text, date, timestamp
+		return p.strings
+	}
+}
+
+// all returns the union of all pools (used when a variable's type is
+// unknown).
+func (p *pools) all() []value.Value {
+	out := make([]value.Value, 0, len(p.ints)+len(p.floats)+len(p.strings)+len(p.bools))
+	out = append(out, p.ints...)
+	out = append(out, p.strings...)
+	out = append(out, p.floats...)
+	out = append(out, p.bools...)
+	return out
+}
+
+// --- guided search ------------------------------------------------------
+
+// guided instantiates each disjunct of the guide sentence as a minimal
+// candidate model: exactly the positive atoms of the disjunct, with
+// variables enumerated over typed pools.
+func (o *Oracle) guided(p Problem, pl *pools) *eval.Database {
+	specByName := make(map[string]RelSpec, len(p.Rels))
+	for _, r := range p.Rels {
+		specByName[r.Name] = r
+	}
+	budget := o.cfg.GuideBudget
+
+	for _, dj := range fol.DisjunctiveForm(p.Guide) {
+		var atoms []*fol.Atom
+		var cmps []*fol.Cmp
+		ok := true
+		for _, part := range dj.Parts {
+			switch g := part.(type) {
+			case *fol.Atom:
+				if _, known := specByName[g.Pred]; !known {
+					ok = false // atom over a computed relation: cannot seed
+				}
+				atoms = append(atoms, g)
+			case *fol.Cmp:
+				cmps = append(cmps, g)
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Collect variables with a type-derived pool.
+		varPool := make(map[string][]value.Value)
+		var vars []string
+		addVar := func(name string, pool []value.Value) {
+			if _, seen := varPool[name]; !seen {
+				varPool[name] = pool
+				vars = append(vars, name)
+			}
+		}
+		for _, a := range atoms {
+			spec := specByName[a.Pred]
+			for i, t := range a.Args {
+				if t.IsVar() {
+					addVar(t.Var, pl.forType(spec.Types[i]))
+				}
+			}
+		}
+		for _, c := range cmps {
+			for _, t := range []datalog.Term{c.L, c.R} {
+				if t.IsVar() {
+					addVar(t.Var, pl.all())
+				}
+			}
+		}
+
+		env := make(map[string]value.Value, len(vars))
+		if db := o.assignDFS(p, dj, atoms, cmps, vars, varPool, env, 0, &budget); db != nil {
+			return db
+		}
+		if budget <= 0 {
+			return nil
+		}
+	}
+	return nil
+}
+
+// assignDFS enumerates assignments for vars[i:], pruning on ground
+// comparisons, and tests the minimal model of each full assignment.
+func (o *Oracle) assignDFS(p Problem, dj fol.Conjunct, atoms []*fol.Atom, cmps []*fol.Cmp,
+	vars []string, varPool map[string][]value.Value, env map[string]value.Value, i int, budget *int) *eval.Database {
+	if *budget <= 0 {
+		return nil
+	}
+	if i == len(vars) {
+		*budget--
+		db := emptyInstance(p.Rels)
+		for _, a := range atoms {
+			t := make(value.Tuple, len(a.Args))
+			for j, arg := range a.Args {
+				if arg.IsConst() {
+					t[j] = arg.Const
+				} else {
+					t[j] = env[arg.Var]
+				}
+			}
+			db.Insert(predSym(a.Pred), t)
+		}
+		if p.Test(db) {
+			return db
+		}
+		return nil
+	}
+	v := vars[i]
+	for _, val := range varPool[v] {
+		env[v] = val
+		if !cmpsConsistent(cmps, env) {
+			continue
+		}
+		if db := o.assignDFS(p, dj, atoms, cmps, vars, varPool, env, i+1, budget); db != nil {
+			return db
+		}
+		if *budget <= 0 {
+			break
+		}
+	}
+	delete(env, v)
+	return nil
+}
+
+// cmpsConsistent checks the ground comparisons under a partial assignment.
+func cmpsConsistent(cmps []*fol.Cmp, env map[string]value.Value) bool {
+	resolve := func(t datalog.Term) (value.Value, bool) {
+		if t.IsConst() {
+			return t.Const, true
+		}
+		v, ok := env[t.Var]
+		return v, ok
+	}
+	for _, c := range cmps {
+		l, okL := resolve(c.L)
+		r, okR := resolve(c.R)
+		if okL && okR && !c.Op.Eval(l, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- exhaustive small-scope search ---------------------------------------
+
+// exhaustive enumerates every instance whose relations each hold at most
+// two tuples drawn from reduced pools, provided the state space fits the
+// budget.
+func (o *Oracle) exhaustive(p Problem, pl *pools) *eval.Database {
+	const maxPerRel = 2
+	// Reduced pools keep the search tractable while retaining the
+	// constants (which come first in pool construction order).
+	reduce := func(vals []value.Value, n int) []value.Value {
+		if len(vals) <= n {
+			return vals
+		}
+		return vals[:n]
+	}
+	reduced := &pools{
+		ints:    reduce(pl.ints, 3),
+		floats:  reduce(pl.floats, 2),
+		strings: reduce(pl.strings, 3),
+		bools:   pl.bools,
+	}
+
+	// Tuple candidate pools per relation.
+	tuplePools := make([][]value.Tuple, len(p.Rels))
+	total := 1.0
+	for i, r := range p.Rels {
+		tp := tuplesOf(r, reduced)
+		tuplePools[i] = tp
+		// Number of subsets of size ≤ maxPerRel.
+		n := float64(len(tp))
+		count := 1 + n + n*(n-1)/2
+		total *= count
+		if total > float64(o.cfg.ExhaustiveBudget) {
+			return nil // too large; fall back to random search
+		}
+	}
+
+	db := emptyInstance(p.Rels)
+	var rec func(i int) *eval.Database
+	rec = func(i int) *eval.Database {
+		if i == len(p.Rels) {
+			if p.Test(db) {
+				return db.Clone()
+			}
+			return nil
+		}
+		sym := predSym(p.Rels[i].Name)
+		// Subsets of size 0, 1, 2.
+		if w := rec(i + 1); w != nil {
+			return w
+		}
+		tp := tuplePools[i]
+		for a := 0; a < len(tp); a++ {
+			db.Insert(sym, tp[a])
+			if w := rec(i + 1); w != nil {
+				return w
+			}
+			for b := a + 1; b < len(tp); b++ {
+				db.Insert(sym, tp[b])
+				if w := rec(i + 1); w != nil {
+					return w
+				}
+				db.Delete(sym, tp[b])
+			}
+			db.Delete(sym, tp[a])
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// tuplesOf enumerates the cartesian product of the attribute pools.
+func tuplesOf(r RelSpec, pl *pools) []value.Tuple {
+	out := []value.Tuple{{}}
+	for _, t := range r.Types {
+		pool := pl.forType(t)
+		var next []value.Tuple
+		for _, prefix := range out {
+			for _, v := range pool {
+				tup := make(value.Tuple, len(prefix)+1)
+				copy(tup, prefix)
+				tup[len(prefix)] = v
+				next = append(next, tup)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// --- randomized search ----------------------------------------------------
+
+func (o *Oracle) random(p Problem, pl *pools) *eval.Database {
+	rng := rand.New(rand.NewSource(o.cfg.Seed))
+	for trial := 0; trial < o.cfg.RandomTrials; trial++ {
+		db := emptyInstance(p.Rels)
+		for _, r := range p.Rels {
+			n := rng.Intn(o.cfg.MaxTuples + 1)
+			for k := 0; k < n; k++ {
+				t := make(value.Tuple, r.Arity())
+				for j, ty := range r.Types {
+					pool := pl.forType(ty)
+					t[j] = pool[rng.Intn(len(pool))]
+				}
+				db.Insert(predSym(r.Name), t)
+			}
+		}
+		if p.Test(db) {
+			return db
+		}
+	}
+	return nil
+}
+
+// emptyInstance builds a database with an empty relation per spec.
+func emptyInstance(rels []RelSpec) *eval.Database {
+	db := eval.NewDatabase()
+	for _, r := range rels {
+		db.Ensure(predSym(r.Name), r.Arity())
+	}
+	return db
+}
+
+// predSym decodes the +r / -r delta encoding used in formula atoms.
+func predSym(name string) datalog.PredSym {
+	if len(name) > 0 {
+		switch name[0] {
+		case '+':
+			return datalog.Ins(name[1:])
+		case '-':
+			return datalog.Del(name[1:])
+		}
+	}
+	return datalog.Pred(name)
+}

@@ -1,0 +1,250 @@
+package sat
+
+import (
+	"testing"
+
+	"birds/internal/datalog"
+	"birds/internal/eval"
+	"birds/internal/fol"
+	"birds/internal/value"
+)
+
+func atom(pred string, vars ...string) *fol.Atom {
+	args := make([]datalog.Term, len(vars))
+	for i, v := range vars {
+		args[i] = datalog.V(v)
+	}
+	return &fol.Atom{Pred: pred, Args: args}
+}
+
+func testFO(sentence fol.Formula, consts ...value.Value) func(*eval.Database) bool {
+	return func(db *eval.Database) bool {
+		m := fol.NewModel(db, consts...)
+		return m.Sat(sentence)
+	}
+}
+
+func TestFindSatisfiableAtom(t *testing.T) {
+	o := New(DefaultConfig())
+	s := atom("r", "X")
+	db := o.Find(Problem{
+		Rels:  []RelSpec{{Name: "r", Types: []string{"int"}}},
+		Guide: s,
+		Test:  testFO(s),
+	})
+	if db == nil {
+		t.Fatal("∃X r(X) should be satisfiable")
+	}
+	if db.Rel(datalog.Pred("r")).Empty() {
+		t.Fatal("witness should populate r")
+	}
+}
+
+func TestFindUnsatisfiableContradiction(t *testing.T) {
+	o := New(DefaultConfig())
+	s := fol.NewAnd(atom("r", "X"), fol.NewNot(atom("r", "X")))
+	db := o.Find(Problem{
+		Rels:  []RelSpec{{Name: "r", Types: []string{"int"}}},
+		Guide: s,
+		Test:  testFO(s),
+	})
+	if db != nil {
+		t.Fatalf("contradiction should have no witness, got\n%s", db)
+	}
+}
+
+func TestComparisonWitnessNeedsGapValues(t *testing.T) {
+	// ∃X r(X) ∧ X > 5 ∧ X < 7 — only X = 6 works; the pool must include
+	// the gap value between the constants 5 and 7.
+	o := New(DefaultConfig())
+	s := fol.NewAnd(
+		atom("r", "X"),
+		&fol.Cmp{Op: datalog.OpGt, L: datalog.V("X"), R: datalog.CInt(5)},
+		&fol.Cmp{Op: datalog.OpLt, L: datalog.V("X"), R: datalog.CInt(7)},
+	)
+	consts := []value.Value{value.Int(5), value.Int(7)}
+	db := o.Find(Problem{
+		Rels:        []RelSpec{{Name: "r", Types: []string{"int"}}},
+		ExtraConsts: consts,
+		Guide:       s,
+		Test:        testFO(s, consts...),
+	})
+	if db == nil {
+		t.Fatal("should find X = 6")
+	}
+	if !db.Rel(datalog.Pred("r")).Contains(value.Tuple{value.Int(6)}) {
+		t.Fatalf("witness should be 6, got %s", db.Rel(datalog.Pred("r")))
+	}
+}
+
+func TestStringGapValues(t *testing.T) {
+	// ∃X r(X) ∧ X > '1962-12-31': needs a string above the constant.
+	o := New(DefaultConfig())
+	s := fol.NewAnd(
+		atom("r", "X"),
+		&fol.Cmp{Op: datalog.OpGt, L: datalog.V("X"), R: datalog.CStr("1962-12-31")},
+	)
+	consts := []value.Value{value.Str("1962-12-31")}
+	db := o.Find(Problem{
+		Rels:        []RelSpec{{Name: "r", Types: []string{"date"}}},
+		ExtraConsts: consts,
+		Guide:       s,
+		Test:        testFO(s, consts...),
+	})
+	if db == nil {
+		t.Fatal("should find a date above the constant")
+	}
+}
+
+func TestUnsatNegationAcrossRelations(t *testing.T) {
+	// r ⊆ s required and r ⊄ s required simultaneously: a Test that can
+	// never pass; oracle must exhaust and return nil.
+	o := New(Config{MaxTuples: 2, RandomTrials: 200, ExhaustiveBudget: 20000, GuideBudget: 2000, Seed: 1})
+	sub := fol.NewNot(fol.NewExists([]string{"X"},
+		fol.NewAnd(atom("r", "X"), fol.NewNot(atom("s", "X")))))
+	notSub := fol.NewNot(sub)
+	s := fol.NewAnd(sub, notSub)
+	db := o.Find(Problem{
+		Rels: []RelSpec{{Name: "r", Types: []string{"int"}}, {Name: "s", Types: []string{"int"}}},
+		Test: testFO(s),
+	})
+	if db != nil {
+		t.Fatal("r⊆s ∧ ¬(r⊆s) should be unsatisfiable")
+	}
+}
+
+func TestExhaustiveFindsSmallWitness(t *testing.T) {
+	// Without a guide, the exhaustive phase must find: ∃X r(X) ∧ ¬s(X).
+	o := New(DefaultConfig())
+	s := fol.NewAnd(atom("r", "X"), fol.NewNot(atom("s", "X")))
+	db := o.Find(Problem{
+		Rels: []RelSpec{{Name: "r", Types: []string{"int"}}, {Name: "s", Types: []string{"int"}}},
+		Test: testFO(s),
+	})
+	if db == nil {
+		t.Fatal("exhaustive search should find a witness")
+	}
+}
+
+func TestRandomSearchFallback(t *testing.T) {
+	// Blow past the exhaustive budget with a wide relation; the randomized
+	// phase must still find a witness for a satisfiable sentence.
+	cfg := DefaultConfig()
+	cfg.ExhaustiveBudget = 1
+	o := New(cfg)
+	s := atom("wide", "A", "B", "C", "D")
+	db := o.Find(Problem{
+		Rels: []RelSpec{{Name: "wide", Types: []string{"int", "int", "string", "bool"}}},
+		Test: testFO(s),
+	})
+	if db == nil {
+		t.Fatal("random search should find a witness")
+	}
+}
+
+func TestGuidedSearchSkipsUnknownAtoms(t *testing.T) {
+	// Guide mentions a computed relation not in Rels; the oracle must not
+	// crash and must fall through to the other phases.
+	o := New(DefaultConfig())
+	s := fol.NewAnd(atom("computed", "X"), atom("r", "X"))
+	db := o.Find(Problem{
+		Rels:  []RelSpec{{Name: "r", Types: []string{"int"}}},
+		Guide: s,
+		Test: func(db *eval.Database) bool {
+			// The witness only needs r nonempty for this test.
+			return !db.RelOrEmpty(datalog.Pred("r"), 1).Empty()
+		},
+	})
+	if db == nil {
+		t.Fatal("should fall back and find r nonempty")
+	}
+}
+
+func TestDeltaPredicatesInSpecs(t *testing.T) {
+	// +v / -v appear as EDB relations in incrementalized programs.
+	o := New(DefaultConfig())
+	s := atom("+v", "X")
+	db := o.Find(Problem{
+		Rels:  []RelSpec{{Name: "+v", Types: []string{"int"}}},
+		Guide: s,
+		Test:  testFO(s),
+	})
+	if db == nil {
+		t.Fatal("delta-relation witness should be found")
+	}
+	if db.Rel(datalog.Ins("v")).Empty() {
+		t.Fatal("witness must populate +v under the Ins symbol")
+	}
+}
+
+func TestSpecsFromDecls(t *testing.T) {
+	p, err := datalog.Parse(`
+source r(a:int, b:string).
+view v(x:int).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := SpecsFromDecls(append(p.Sources, p.View)...)
+	if len(specs) != 2 || specs[0].Name != "r" || specs[0].Arity() != 2 || specs[1].Name != "v" {
+		t.Fatalf("specs = %+v", specs)
+	}
+	if specs[0].Types[1] != "string" {
+		t.Errorf("types = %v", specs[0].Types)
+	}
+}
+
+func TestPoolsCoverGapsAndBounds(t *testing.T) {
+	pl := buildPools([]value.Value{value.Int(5), value.Int(7), value.Str("m")})
+	hasInt := func(v int64) bool {
+		for _, x := range pl.ints {
+			if x.AsInt() == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []int64{4, 5, 6, 7, 8} {
+		if !hasInt(want) {
+			t.Errorf("int pool missing %d: %v", want, pl.ints)
+		}
+	}
+	hasStr := func(s string) bool {
+		for _, x := range pl.strings {
+			if x.AsString() == s {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasStr("m") || !hasStr("m0") || !hasStr("!") {
+		t.Errorf("string pool missing gap values: %v", pl.strings)
+	}
+	// Empty pools get defaults.
+	empty := buildPools(nil)
+	if len(empty.ints) == 0 || len(empty.strings) == 0 || len(empty.bools) != 2 || len(empty.floats) == 0 {
+		t.Error("default pools should be nonempty")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() string {
+		o := New(DefaultConfig())
+		s := fol.NewAnd(atom("r", "X", "Y"), fol.NewNot(atom("s", "Y")))
+		db := o.Find(Problem{
+			Rels: []RelSpec{
+				{Name: "r", Types: []string{"int", "string"}},
+				{Name: "s", Types: []string{"string"}},
+			},
+			Guide: s,
+			Test:  testFO(s),
+		})
+		if db == nil {
+			return "<nil>"
+		}
+		return db.String()
+	}
+	if run() != run() {
+		t.Error("oracle is not deterministic")
+	}
+}

@@ -1,0 +1,281 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"birds/internal/datalog"
+)
+
+func mustProg(t *testing.T, src string) *datalog.Program {
+	t.Helper()
+	p, err := datalog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustRules(t *testing.T, srcs ...string) []*datalog.Rule {
+	t.Helper()
+	var out []*datalog.Rule
+	for _, s := range srcs {
+		r, err := datalog.ParseRule(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+const unionSrc = `
+source r1(a:int).
+source r2(a:int).
+view v(a:int).
+-r1(X) :- r1(X), not v(X).
+-r2(X) :- r2(X), not v(X).
++r1(X) :- v(X), not r1(X), not r2(X).
+`
+
+func TestRuleSelectBasics(t *testing.T) {
+	c := New(mustProg(t, unionSrc))
+	r := mustRules(t, "-r1(X) :- r1(X), not v(X).")[0]
+	sql, err := c.RuleSelect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SELECT DISTINCT", "t1.a AS a", "FROM r1 AS t1", "NOT EXISTS", "FROM v AS n", "n.a = t1.a"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SELECT missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestRuleSelectConstantsAndComparisons(t *testing.T) {
+	c := New(mustProg(t, `
+source female(e:string, b:date).
+view residents(e:string, b:date, g:string).
++female(E,B) :- residents(E,B,G), G = 'F', B > '1962-01-01', not female(E,B).
+`))
+	r := mustRules(t, "+female(E,B) :- residents(E,B,G), G = 'F', B > '1962-01-01', not female(E,B).")[0]
+	sql, err := c.RuleSelect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"t1.g = 'F'", "t1.b > '1962-01-01'", "FROM residents AS t1"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SELECT missing %q:\n%s", want, sql)
+		}
+	}
+	// The binding equality G = 'F' must not be duplicated as G = G.
+	if strings.Contains(sql, "'F' = 'F'") {
+		t.Errorf("redundant equality emitted:\n%s", sql)
+	}
+}
+
+func TestRuleSelectJoinConditions(t *testing.T) {
+	c := New(mustProg(t, `
+source s1(a:int, b:int).
+source s2(b:int, c:int).
+view v(a:int, b:int, c:int).
+j(X,Y,Z) :- s1(X,Y), s2(Y,Z).
+`))
+	r := mustRules(t, "j(X,Y,Z) :- s1(X,Y), s2(Y,Z).")[0]
+	sql, err := c.RuleSelect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "t2.b = t1.b") {
+		t.Errorf("join condition missing:\n%s", sql)
+	}
+}
+
+func TestRuleSelectEqualityBoundHeadVar(t *testing.T) {
+	c := New(mustProg(t, `
+source r(a:int, b:string).
+view v(a:int).
++r(X,Y) :- v(X), not r(X,'unknown'), Y = 'unknown'.
+`))
+	r := mustRules(t, "+r(X,Y) :- v(X), not r(X,'unknown'), Y = 'unknown'.")[0]
+	sql, err := c.RuleSelect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "'unknown' AS b") {
+		t.Errorf("equality-bound head var should render as literal:\n%s", sql)
+	}
+	if !strings.Contains(sql, "n.b = 'unknown'") {
+		t.Errorf("negated atom constant missing:\n%s", sql)
+	}
+}
+
+func TestRuleSelectAnonymousInNegation(t *testing.T) {
+	c := New(mustProg(t, `
+source ced(e:string, d:string).
+view retired(e:string).
+r1(E) :- ced(E,D), not ced(E,_).
+`))
+	r := mustRules(t, "r1(E) :- ced(E,D), not ced(E,_).")[0]
+	sql, err := c.RuleSelect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "NOT EXISTS (SELECT 1 FROM ced AS n WHERE n.e = t1.e)") {
+		t.Errorf("anonymous position must be unconstrained:\n%s", sql)
+	}
+}
+
+func TestRuleSelectUnboundVarError(t *testing.T) {
+	c := New(mustProg(t, unionSrc))
+	r := &datalog.Rule{
+		Head: datalog.NewAtom(datalog.Ins("r1"), datalog.V("X")),
+		Body: []datalog.Literal{datalog.Negated(datalog.NewAtom(datalog.Pred("v"), datalog.V("X")))},
+	}
+	if _, err := c.RuleSelect(r); err == nil {
+		t.Fatal("unbound head variable should be an error")
+	}
+}
+
+func TestQuerySQLWithAuxCTE(t *testing.T) {
+	prog := mustProg(t, `
+source r(a:int, b:int).
+view v(a:int, b:int).
+m(X,Y) :- r(X,Y), Y > 2.
+-r(X,Y) :- m(X,Y), not v(X,Y).
+`)
+	c := New(prog)
+	sql, err := c.QuerySQL(prog.NonConstraintRules(), datalog.Del("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"WITH m AS (", "FROM m AS t1", "t1.b > 2"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("query missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestQuerySQLUnion(t *testing.T) {
+	prog := mustProg(t, unionSrc)
+	c := New(prog)
+	get := mustRules(t, "v(X) :- r1(X).", "v(X) :- r2(X).")
+	sql, err := c.QuerySQL(get, datalog.Pred("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sql, "SELECT DISTINCT") != 2 || !strings.Contains(sql, "\nUNION\n") {
+		t.Errorf("union query wrong:\n%s", sql)
+	}
+}
+
+func TestCompileViewAndTrigger(t *testing.T) {
+	prog := mustProg(t, `
+source r(a:int).
+view v(a:int).
+_|_ :- v(X), X > 9.
++r(X) :- v(X), not r(X).
+-r(X) :- r(X), not v(X).
+`)
+	c := New(prog)
+	sqlText, err := c.Compile(mustRules(t, "v(X) :- r(X)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"CREATE OR REPLACE VIEW v AS",
+		"CREATE OR REPLACE FUNCTION v_update_strategy() RETURNS TRIGGER",
+		"INSTEAD OF INSERT OR UPDATE OR DELETE ON v",
+		"IF EXISTS (SELECT 1 FROM v AS t1 WHERE t1.a > 9)",
+		"RAISE EXCEPTION",
+		"CREATE TEMP TABLE __del_r",
+		"CREATE TEMP TABLE __ins_r",
+		"DELETE FROM r WHERE ROW(a) IN (SELECT * FROM __del_r)",
+		"INSERT INTO r SELECT * FROM __ins_r EXCEPT SELECT * FROM r",
+		"CREATE TRIGGER v_trigger",
+	} {
+		if !strings.Contains(sqlText, want) {
+			t.Errorf("compiled SQL missing %q", want)
+		}
+	}
+	if len(sqlText) < 500 {
+		t.Errorf("compiled SQL suspiciously small: %d bytes", len(sqlText))
+	}
+}
+
+func TestCompileSkipsMissingDeltas(t *testing.T) {
+	// r2 has only a deletion rule: no __ins_r2 table or INSERT statement.
+	prog := mustProg(t, unionSrc)
+	c := New(prog)
+	sqlText, err := c.CompileTrigger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sqlText, "__ins_r2") {
+		t.Errorf("no insertion delta exists for r2:\n%s", sqlText)
+	}
+	if !strings.Contains(sqlText, "__del_r2") {
+		t.Errorf("deletion delta for r2 missing:\n%s", sqlText)
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	prog := mustProg(t, unionSrc)
+	get := mustRules(t, "v(X) :- r1(X).", "v(X) :- r2(X).")
+	a, err := New(prog).Compile(get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(prog).Compile(get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("compilation is not deterministic")
+	}
+}
+
+func TestCompileIncrementalTrigger(t *testing.T) {
+	// The ∂put of Example 5.2, after incrementalization: delta queries must
+	// read the __ins_v/__del_v temp tables rather than the view.
+	orig := mustProg(t, `
+source r(a:int, b:int).
+view v(a:int, b:int).
+_|_ :- v(X,Y), not Y > 2.
++r(X,Y) :- v(X,Y), not r(X,Y).
+m(X,Y) :- r(X,Y), Y > 2.
+-r(X,Y) :- m(X,Y), not v(X,Y).
+`)
+	dput := mustProg(t, `
+source r(a:int, b:int).
+view v(a:int, b:int).
++r(X,Y) :- +v(X,Y), not r(X,Y).
+-r(X,Y) :- r(X,Y), Y > 2, -v(X,Y).
+`)
+	c := New(orig)
+	sqlText, err := c.CompileIncrementalTrigger(dput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"v_update_strategy_inc",
+		"FROM __ins_v AS t1",
+		"__del_v AS t2",
+		"IF EXISTS (SELECT 1 FROM __ins_v AS t1 WHERE NOT (t1.b > 2))",
+		"CREATE TEMP TABLE __ins_r",
+		"CREATE TEMP TABLE __del_r",
+	} {
+		if !strings.Contains(sqlText, want) {
+			t.Errorf("incremental trigger missing %q:\n%s", want, sqlText)
+		}
+	}
+	// Unlike the original trigger, the delta queries never scan the view.
+	if strings.Contains(sqlText, "FROM v AS") {
+		t.Errorf("incremental trigger must not scan the full view:\n%s", sqlText)
+	}
+	// Mismatched program rejected.
+	other := mustProg(t, "source r(a:int).\nview w(a:int).\n+r(X) :- +w(X), not r(X).")
+	if _, err := c.CompileIncrementalTrigger(other); err == nil {
+		t.Error("wrong view must be rejected")
+	}
+}

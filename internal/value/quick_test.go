@@ -1,0 +1,136 @@
+package value
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Generate implements quick.Generator so Value can be drawn directly in
+// property tests: a random scalar of a random kind.
+func (Value) Generate(r *rand.Rand, size int) reflect.Value {
+	var v Value
+	switch r.Intn(4) {
+	case 0:
+		v = Int(int64(r.Intn(2*size+1) - size))
+	case 1:
+		v = Float(float64(r.Intn(2*size+1)-size) / 2)
+	case 2:
+		b := make([]byte, r.Intn(4))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(4))
+		}
+		v = Str(string(b))
+	default:
+		v = Bool(r.Intn(2) == 0)
+	}
+	return reflect.ValueOf(v)
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b Value) bool {
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareTransitive(t *testing.T) {
+	f := func(a, b, c Value) bool {
+		x, y, z := a, b, c
+		// Sort the three by Compare and verify the chain is consistent.
+		if x.Compare(y) > 0 {
+			x, y = y, x
+		}
+		if y.Compare(z) > 0 {
+			y, z = z, y
+		}
+		if x.Compare(y) > 0 {
+			x, y = y, x
+		}
+		return x.Compare(y) <= 0 && y.Compare(z) <= 0 && x.Compare(z) <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualIffCompareZero(t *testing.T) {
+	f := func(a, b Value) bool {
+		// Equal and Compare agree except Compare's cross-kind ordering for
+		// non-numeric kinds (where Equal is false and Compare nonzero) —
+		// i.e. Equal(a,b) implies Compare == 0, and for same-kind values
+		// the reverse holds too.
+		if a.Equal(b) && a.Compare(b) != 0 {
+			return false
+		}
+		if a.Kind() == b.Kind() && a.Compare(b) == 0 && !a.Equal(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTupleKeyInjective(t *testing.T) {
+	f := func(a1, a2, b1, b2 Value) bool {
+		t1 := Tuple{a1, a2}
+		t2 := Tuple{b1, b2}
+		return (t1.Key() == t2.Key()) == t1.Equal(t2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringRoundTripsThroughSQL(t *testing.T) {
+	// String() and SQL() agree for everything except booleans.
+	f := func(v Value) bool {
+		if v.Kind() == KindBool {
+			return (v.SQL() == "TRUE") == v.AsBool()
+		}
+		return v.SQL() == v.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Relation delta application: (R \ D) ∪ I is exactly membership-wise what
+// ApplyDeltas computes, and inserting then removing a fresh tuple is the
+// identity.
+func TestQuickRelationDeltaApplication(t *testing.T) {
+	f := func(rs, ds, is []Value) bool {
+		r := NewRelation(1)
+		for _, v := range rs {
+			r.Add(Tuple{v})
+		}
+		d := NewRelation(1)
+		for _, v := range ds {
+			d.Add(Tuple{v})
+		}
+		ins := NewRelation(1)
+		for _, v := range is {
+			ins.Add(Tuple{v})
+		}
+		applied := r.Clone()
+		applied.SubtractAll(d)
+		applied.UnionWith(ins)
+		// Membership law.
+		for _, v := range append(append(append([]Value{}, rs...), ds...), is...) {
+			tu := Tuple{v}
+			want := ins.Contains(tu) || (r.Contains(tu) && !d.Contains(tu))
+			if applied.Contains(tu) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

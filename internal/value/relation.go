@@ -1,0 +1,188 @@
+package value
+
+import (
+	"sort"
+	"strings"
+)
+
+// Relation is a finite set of tuples of a fixed arity, with set semantics.
+// It is the runtime representation of both EDB and IDB relations.
+//
+// Membership is keyed by Tuple.Key, so Int/Float duplicates collapse the
+// same way Equal treats them.
+type Relation struct {
+	arity  int
+	tuples map[string]Tuple
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	return &Relation{arity: arity, tuples: make(map[string]Tuple)}
+}
+
+// RelationOf builds a relation of the given arity from tuples.
+func RelationOf(arity int, tuples ...Tuple) *Relation {
+	r := NewRelation(arity)
+	for _, t := range tuples {
+		r.Add(t)
+	}
+	return r
+}
+
+// Arity reports the arity of the relation.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len reports the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Empty reports whether the relation has no tuples.
+func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
+
+// Add inserts t; it reports whether the relation changed. It panics on an
+// arity mismatch, which always indicates a bug in the caller.
+func (r *Relation) Add(t Tuple) bool {
+	if len(t) != r.arity {
+		panic("value: relation arity mismatch on Add")
+	}
+	k := t.Key()
+	if _, ok := r.tuples[k]; ok {
+		return false
+	}
+	r.tuples[k] = t.Clone()
+	return true
+}
+
+// Remove deletes t; it reports whether the relation changed.
+func (r *Relation) Remove(t Tuple) bool {
+	k := t.Key()
+	if _, ok := r.tuples[k]; !ok {
+		return false
+	}
+	delete(r.tuples, k)
+	return true
+}
+
+// Contains reports whether t is in the relation.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.tuples[t.Key()]
+	return ok
+}
+
+// Each calls fn for every tuple; fn must not mutate the relation.
+func (r *Relation) Each(fn func(Tuple)) {
+	for _, t := range r.tuples {
+		fn(t)
+	}
+}
+
+// EachUntil calls fn for every tuple until fn returns false; it reports
+// whether the iteration ran to completion.
+func (r *Relation) EachUntil(fn func(Tuple) bool) bool {
+	for _, t := range r.tuples {
+		if !fn(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Tuples returns the tuples in an unspecified order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Sorted returns the tuples in lexicographic order, for deterministic output.
+func (r *Relation) Sorted() []Tuple {
+	out := r.Tuples()
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Clone returns a deep copy of r.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.arity)
+	for k, t := range r.tuples {
+		c.tuples[k] = t.Clone()
+	}
+	return c
+}
+
+// Equal reports whether two relations hold exactly the same tuples.
+func (r *Relation) Equal(s *Relation) bool {
+	if r.Len() != s.Len() {
+		return false
+	}
+	for k := range r.tuples {
+		if _, ok := s.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith inserts every tuple of s into r and reports whether r changed.
+func (r *Relation) UnionWith(s *Relation) bool {
+	changed := false
+	for _, t := range s.tuples {
+		if r.Add(t) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// SubtractAll removes every tuple of s from r and reports whether r changed.
+func (r *Relation) SubtractAll(s *Relation) bool {
+	changed := false
+	for k := range s.tuples {
+		if _, ok := r.tuples[k]; ok {
+			delete(r.tuples, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Intersect returns the set of tuples present in both r and s.
+func (r *Relation) Intersect(s *Relation) *Relation {
+	out := NewRelation(r.arity)
+	small, big := r, s
+	if s.Len() < r.Len() {
+		small, big = s, r
+	}
+	for k, t := range small.tuples {
+		if _, ok := big.tuples[k]; ok {
+			out.tuples[k] = t.Clone()
+		}
+	}
+	return out
+}
+
+// Minus returns r \ s as a new relation.
+func (r *Relation) Minus(s *Relation) *Relation {
+	out := NewRelation(r.arity)
+	for k, t := range r.tuples {
+		if _, ok := s.tuples[k]; !ok {
+			out.tuples[k] = t.Clone()
+		}
+	}
+	return out
+}
+
+// String renders the relation as a sorted set of tuples.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range r.Sorted() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

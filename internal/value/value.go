@@ -1,0 +1,295 @@
+// Package value provides the typed constants and tuples that flow through
+// every layer of the system: the Datalog evaluator, the relational engine,
+// the finite-model satisfiability oracle and the benchmark workloads.
+//
+// A Value is a small immutable scalar. Values are comparable in the Go sense
+// (usable as map keys), which the evaluator exploits for hash joins, and they
+// carry a total order so the built-in comparison predicates (<, >, <=, >=)
+// of the Datalog dialect are well defined. Dates are represented as strings
+// in ISO form (YYYY-MM-DD), whose lexicographic order coincides with
+// chronological order, exactly as the paper's case study relies on
+// (e.g. B < '1962-01-01').
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the runtime type of a Value.
+type Kind uint8
+
+// The kinds of scalar values supported by the engine.
+const (
+	KindNull Kind = iota // absence of a value (used only transiently)
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable scalar constant. The zero Value is the null value.
+// Value is comparable and therefore usable as a map key.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// String returns a string value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Kind reports the runtime kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload; it panics if v is not an int.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("value: AsInt on %s", v.kind))
+	}
+	return v.i
+}
+
+// AsFloat returns the numeric payload widened to float64; it panics if v is
+// neither an int nor a float.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i)
+	case KindFloat:
+		return v.f
+	}
+	panic(fmt.Sprintf("value: AsFloat on %s", v.kind))
+}
+
+// AsString returns the string payload; it panics if v is not a string.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("value: AsString on %s", v.kind))
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload; it panics if v is not a bool.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("value: AsBool on %s", v.kind))
+	}
+	return v.b
+}
+
+// numeric reports whether v is an int or a float.
+func (v Value) numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Equal reports whether two values are equal. Ints and floats compare
+// numerically across kinds (1 == 1.0); all other cross-kind comparisons are
+// false.
+func (v Value) Equal(w Value) bool {
+	if v.kind == w.kind {
+		return v == w
+	}
+	if v.numeric() && w.numeric() {
+		return v.AsFloat() == w.AsFloat()
+	}
+	return false
+}
+
+// Compare returns -1, 0 or +1 ordering v before, equal to, or after w.
+// The order is total: values of different non-numeric kinds order by kind.
+// Numeric values compare numerically across int/float.
+func (v Value) Compare(w Value) int {
+	if v.numeric() && w.numeric() {
+		a, b := v.AsFloat(), w.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != w.kind {
+		if v.kind < w.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindString:
+		return strings.Compare(v.s, w.s)
+	case KindBool:
+		switch {
+		case v.b == w.b:
+			return 0
+		case !v.b:
+			return -1
+		default:
+			return 1
+		}
+	default:
+		return 0
+	}
+}
+
+// Less reports whether v orders strictly before w.
+func (v Value) Less(w Value) bool { return v.Compare(w) < 0 }
+
+// String renders v in Datalog source syntax: strings are single-quoted with
+// quote doubling, so the printer's output re-parses to the same value.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("value(%d)", uint8(v.kind))
+	}
+}
+
+// SQL renders v as a SQL literal (identical to String for the supported
+// kinds; booleans render as TRUE/FALSE).
+func (v Value) SQL() string {
+	if v.kind == KindBool {
+		if v.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return v.String()
+}
+
+// Tuple is a fixed-arity sequence of values: one row of a relation.
+type Tuple []Value
+
+// Key returns a canonical encoding of t usable as a map key. Two tuples have
+// the same key iff they are element-wise Equal (with numeric widening, so
+// Int(1) and Float(1) collide, matching Equal).
+func (t Tuple) Key() string {
+	var b strings.Builder
+	b.Grow(len(t) * 8)
+	for _, v := range t {
+		switch v.kind {
+		case KindNull:
+			b.WriteString("n;")
+		case KindInt:
+			b.WriteString("f")
+			b.WriteString(strconv.FormatFloat(float64(v.i), 'g', -1, 64))
+			b.WriteByte(';')
+		case KindFloat:
+			b.WriteString("f")
+			b.WriteString(strconv.FormatFloat(v.f, 'g', -1, 64))
+			b.WriteByte(';')
+		case KindString:
+			b.WriteString("s")
+			b.WriteString(strconv.Itoa(len(v.s)))
+			b.WriteByte(':')
+			b.WriteString(v.s)
+			b.WriteByte(';')
+		case KindBool:
+			if v.b {
+				b.WriteString("bt;")
+			} else {
+				b.WriteString("bf;")
+			}
+		}
+	}
+	return b.String()
+}
+
+// Equal reports element-wise equality of two tuples.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically; shorter tuples order first.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(u[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Clone returns a copy of t that shares no backing storage.
+func (t Tuple) Clone() Tuple {
+	u := make(Tuple, len(t))
+	copy(u, t)
+	return u
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
