@@ -1,0 +1,3 @@
+module birds
+
+go 1.24

@@ -52,6 +52,11 @@ func TestConcurrentExecAndRead(t *testing.T) {
 
 func TestConcurrentReadersOnly(t *testing.T) {
 	db := setupUnion(t, false)
+	// Materialize once so every subsequent read is a clean-view read and
+	// stays on the RLock fast path.
+	if _, err := db.Rel("v"); err != nil {
+		t.Fatal(err)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
@@ -62,10 +67,106 @@ func TestConcurrentReadersOnly(t *testing.T) {
 					t.Error(err)
 					return
 				}
+				if _, err := db.Rel("r1"); err != nil {
+					t.Error(err)
+					return
+				}
 				db.IsView("v")
 				db.View("v")
+				db.Relations()
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// Readers racing a writer over a view that the writer keeps invalidating:
+// stale reads must upgrade to the write lock, rematerialize, and never
+// race (run under -race in CI) or observe an inconsistent view.
+func TestConcurrentReadersWithInvalidatingWriter(t *testing.T) {
+	db := setupUnion(t, false)
+	var writer, readers sync.WaitGroup
+	stop := make(chan struct{})
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			x := value.Int(int64(1000 + i))
+			// Writing the base table marks the view stale.
+			if err := db.Exec(Insert("r1", x)); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := db.Exec(Delete("r1", Eq("a", x))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 50; i++ {
+				v, err := db.Rel("v")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// The union view always contains the stable base tuples.
+				for _, want := range []value.Tuple{tup(1), tup(2), tup(4)} {
+					if !v.Contains(want) {
+						t.Errorf("view missing stable tuple %v", want)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Snapshot readers on the very table the writer mutates in place: Rel
+	// would race here (the returned relation is live), Snapshot must not.
+	for w := 0; w < 2; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 50; i++ {
+				snap, err := db.Snapshot("r1")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !snap.Contains(tup(1)) {
+					t.Error("snapshot of r1 lost stable tuple (1)")
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		readers.Add(2)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				db.Relations()
+				db.IsView("v")
+			}
+		}()
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := db.Rel("r2"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
 }

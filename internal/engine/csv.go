@@ -83,13 +83,15 @@ func parseCSVValue(field, typ string) (value.Value, error) {
 // header row of the declared attribute names, in deterministic (sorted)
 // order.
 func (db *DB) DumpCSV(name string, w io.Writer) error {
-	rel, err := db.Rel(name) // takes the lock and refreshes stale views
+	// Snapshot, not Rel: the dump iterates outside the lock, and a
+	// concurrent transaction mutates the live relation in place.
+	rel, err := db.Snapshot(name) // takes the lock and refreshes stale views
 	if err != nil {
 		return err
 	}
-	db.mu.Lock()
+	db.mu.RLock()
 	decl := db.relDecl(name)
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	cw := csv.NewWriter(w)
 	header := make([]string, decl.Arity())
 	for i, a := range decl.Attrs {

@@ -33,6 +33,10 @@ type Assignment struct {
 }
 
 // Statement is a DML statement against a table or view.
+//
+// Row is stored by the engine by reference on execution (relations do not
+// defensively copy tuples); it must not be mutated after the statement is
+// passed to Exec.
 type Statement struct {
 	Kind   StmtKind
 	Target string
@@ -41,7 +45,10 @@ type Statement struct {
 	Set    []Assignment // UPDATE
 }
 
-// Insert builds an INSERT statement.
+// Insert builds an INSERT statement. The row values are captured in a
+// fresh tuple at the call site when passed as literals; a caller expanding
+// an existing slice (Insert(t, row...)) hands over ownership and must not
+// mutate that slice afterwards.
 func Insert(target string, row ...value.Value) Statement {
 	return Statement{Kind: StmtInsert, Target: target, Row: value.Tuple(row)}
 }
@@ -307,11 +314,13 @@ func (db *DB) propagate(name string, ins, del *value.Relation, pl *plan) error {
 // store's indexes are warm.
 func (db *DB) evalIncremental(v *View, ins, del *value.Relation, deltas map[string][2]*value.Relation) error {
 	name := v.Decl.Name
-	db.store.Set(datalog.Ins(name), ins)
-	db.store.Set(datalog.Del(name), del)
+	// Update keeps any indexes on the view-delta predicates alive across
+	// transactions instead of dropping and lazily rebuilding them.
+	db.store.Update(datalog.Ins(name), ins)
+	db.store.Update(datalog.Del(name), del)
 	defer func() {
-		db.store.Set(datalog.Ins(name), value.NewRelation(v.Decl.Arity()))
-		db.store.Set(datalog.Del(name), value.NewRelation(v.Decl.Arity()))
+		db.store.Update(datalog.Ins(name), value.NewRelation(v.Decl.Arity()))
+		db.store.Update(datalog.Del(name), value.NewRelation(v.Decl.Arity()))
 	}()
 
 	// Admissibility: constraints checked against the inserted tuples.
@@ -343,8 +352,8 @@ func (db *DB) evalFull(name string, v *View, ins, del *value.Relation, deltas ma
 	updated := old.Clone()
 	updated.SubtractAll(del)
 	updated.UnionWith(ins)
-	db.store.Set(p, updated)
-	defer db.store.Set(p, old)
+	db.store.Update(p, updated)
+	defer db.store.Update(p, old)
 
 	ev := v.Strategy.Evaluator()
 	if err := ev.Eval(db.store); err != nil {

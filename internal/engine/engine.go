@@ -25,10 +25,12 @@ import (
 )
 
 // DB is an in-memory relational database with updatable views. All public
-// methods are safe for concurrent use; transactions serialize on one lock
-// (reads too, because reading a stale view rematerializes it).
+// methods are safe for concurrent use. Transactions serialize on a write
+// lock; read-only operations (Rel on tables and clean views, IsView, View,
+// Relations) run concurrently under a read lock. Reading a stale view
+// upgrades to the write lock, because rematerialization mutates the store.
 type DB struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	store  *eval.Database
 	tables map[string]*datalog.RelDecl
 	views  map[string]*View
@@ -242,36 +244,74 @@ func (db *DB) relDecl(name string) *datalog.RelDecl {
 
 // IsView reports whether name is a registered view.
 func (db *DB) IsView(name string) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	_, ok := db.views[name]
 	return ok
 }
 
 // View returns the registered view, or nil.
 func (db *DB) View(name string) *View {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.views[name]
 }
 
 // Rel returns the current contents of a table or view (recomputing a stale
-// view first). The returned relation must not be mutated.
+// view first). The returned relation must not be mutated, and it is live:
+// a later transaction on the same relation updates it in place, so
+// iterating it concurrently with writes to that relation is a data race.
+// Callers that read while other goroutines may write should use Snapshot.
+//
+// Tables and clean views are served under the read lock, so concurrent
+// readers do not serialize. A stale view re-acquires the write lock
+// (rematerialization mutates the store) and rechecks, since another
+// transaction may have intervened.
 func (db *DB) Rel(name string) (*value.Relation, error) {
+	db.mu.RLock()
+	if d, ok := db.tables[name]; ok {
+		r := db.store.RelOrEmpty(datalog.Pred(name), d.Arity())
+		db.mu.RUnlock()
+		return r, nil
+	}
+	if v, ok := db.views[name]; ok && !db.dirty[name] {
+		r := db.store.RelOrEmpty(datalog.Pred(name), v.Decl.Arity())
+		db.mu.RUnlock()
+		return r, nil
+	}
+	db.mu.RUnlock()
+
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, ok := db.tables[name]; ok {
-		return db.store.RelOrEmpty(datalog.Pred(name), db.tables[name].Arity()), nil
+	if d, ok := db.tables[name]; ok {
+		return db.store.RelOrEmpty(datalog.Pred(name), d.Arity()), nil
 	}
-	if _, ok := db.views[name]; ok {
-		if db.dirty[name] {
-			if err := db.refresh(name); err != nil {
-				return nil, err
-			}
+	v, ok := db.views[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown relation %q", name)
+	}
+	if db.dirty[name] {
+		if err := db.refresh(name); err != nil {
+			return nil, err
 		}
-		return db.store.RelOrEmpty(datalog.Pred(name), db.views[name].Decl.Arity()), nil
 	}
-	return nil, fmt.Errorf("engine: unknown relation %q", name)
+	return db.store.RelOrEmpty(datalog.Pred(name), v.Decl.Arity()), nil
+}
+
+// Snapshot returns an independent copy of the current contents of a table
+// or view, safe to iterate while later transactions run. It costs O(n) in
+// the relation size; prefer Rel when no concurrent writer can touch the
+// relation.
+func (db *DB) Snapshot(name string) (*value.Relation, error) {
+	rel, err := db.Rel(name)
+	if err != nil {
+		return nil, err
+	}
+	// Clone under the read lock so a writer cannot mutate the buckets
+	// mid-copy.
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return rel.Clone(), nil
 }
 
 // refresh rematerializes a view (and, first, its stale sources).
@@ -288,7 +328,13 @@ func (db *DB) refresh(name string) error {
 	if err != nil {
 		return err
 	}
-	db.store.Set(datalog.Pred(name), rel.Clone())
+	// Eval already installed the freshly built (uniquely owned) relation
+	// for the view predicate; installing again would redundantly rebuild
+	// its indexes. Only install when the goal had no rules and EvalQuery
+	// synthesized an empty relation.
+	if p := datalog.Pred(name); db.store.Rel(p) != rel {
+		db.store.Update(p, rel)
+	}
 	db.dirty[name] = false
 	return nil
 }
@@ -315,7 +361,9 @@ func (db *DB) markDependentsDirty(changed map[string]bool, keep map[string]bool)
 }
 
 // LoadTable bulk-inserts rows into a base table (marking dependent views
-// stale).
+// stale). The engine takes ownership of the row tuples — they are stored
+// by reference, not copied — so callers must not mutate them afterwards
+// (in particular, do not reuse one row buffer across loop iterations).
 func (db *DB) LoadTable(name string, rows []value.Tuple) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -338,8 +386,8 @@ func (db *DB) LoadTable(name string, rows []value.Tuple) error {
 // Relations lists the registered base tables and views, sorted, with a
 // kind marker ("table" or "view").
 func (db *DB) Relations() []RelationInfo {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out []RelationInfo
 	for name, d := range db.tables {
 		out = append(out, RelationInfo{Name: name, Kind: "table", Decl: d})

@@ -116,6 +116,60 @@ view v(a:int, b:int).
 	}
 }
 
+// BenchmarkDatabaseLookup measures a warm-index point probe: the key
+// projection is hashed in place, so the probe itself must not allocate.
+func BenchmarkDatabaseLookup(b *testing.B) {
+	db := benchDB(100000)
+	p := datalog.Pred("r")
+	positions := []int{0}
+	key := value.Tuple{value.Int(51234)}
+	db.Index(p, positions) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(db.Lookup(p, positions, key)) != 1 {
+			b.Fatal("probe must hit exactly one tuple")
+		}
+	}
+}
+
+// BenchmarkPutDelta measures one full putback step (evaluate the putdelta
+// program, check non-contradiction, apply the source deltas) against a
+// large base relation with warm indexes — the per-update cost the paper's
+// Figure 6 argues stays proportional to the view delta.
+func BenchmarkPutDelta(b *testing.B) {
+	prog, err := datalog.Parse(`
+source r(a:int, b:int).
+view v(a:int, b:int).
++r(X,Y) :- +v(X,Y), not r(X,Y).
+-r(X,Y) :- -v(X,Y), r(X,Y).
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := New(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := benchDB(100000)
+	// Warm the indexes with one throwaway round.
+	db.Set(datalog.Ins("v"), value.RelationOf(2, value.Tuple{value.Int(-1), value.Int(0)}))
+	db.Set(datalog.Del("v"), value.NewRelation(2))
+	if err := Put(ev, db, prog.Sources); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := int64(200000 + i)
+		db.Update(datalog.Ins("v"), value.RelationOf(2, value.Tuple{value.Int(id), value.Int(1)}))
+		db.Update(datalog.Del("v"), value.RelationOf(2, value.Tuple{value.Int(id - 1), value.Int(1)}))
+		if err := Put(ev, db, prog.Sources); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkDatabaseInsertDeleteWithIndexes(b *testing.B) {
 	db := NewDatabase()
 	p := datalog.Pred("r")

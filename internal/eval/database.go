@@ -12,7 +12,9 @@ package eval
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"strconv"
 	"strings"
 
 	"birds/internal/datalog"
@@ -20,56 +22,125 @@ import (
 )
 
 // Database maps predicate symbols to relations. It also owns the hash
-// indexes built for join plans; indexes are maintained incrementally by
-// Insert and Delete and dropped by Set.
+// indexes built for join plans, registered per predicate so that Insert and
+// Delete maintain only the affected indexes. Indexes are maintained
+// incrementally across updates and rebuilt in place by Update; Set drops
+// them.
 type Database struct {
 	rels    map[datalog.PredSym]*value.Relation
-	indexes map[indexID]*hashIndex
+	indexes map[datalog.PredSym][]*hashIndex
 }
 
-// indexID identifies an index by predicate and key positions.
-type indexID struct {
-	pred datalog.PredSym
-	mask string // comma-joined positions, e.g. "0,2"
-}
-
-// hashIndex maps the projection of a tuple onto key positions to the tuples
-// having that projection.
+// hashIndex maps the hash of a tuple's projection onto key positions to the
+// tuples having that projection. Buckets are keyed by the 64-bit projection
+// hash; within a bucket, tuples are grouped by distinct projection, so a
+// probe resolves hash collisions by comparing the key against one
+// representative per group — O(groups) ≈ O(1), never O(bucket).
 type hashIndex struct {
 	positions []int
-	buckets   map[string][]value.Tuple
+	buckets   map[uint64][]indexGroup
+	// hot records whether the index was probed since the last Update; a
+	// relation replacement drops cold indexes (e.g. one-off WHERE-clause
+	// probes) instead of eagerly rebuilding them forever.
+	hot bool
 }
 
+// indexGroup is the set of tuples sharing one exact key projection. rep is
+// any tuple of the group; its projection defines the group (tuples are
+// immutable once indexed, so rep stays valid even after it is removed from
+// tuples).
+type indexGroup struct {
+	rep    value.Tuple
+	tuples []value.Tuple
+}
+
+// maskOf renders key positions as "0,2" for diagnostics (IndexStats).
 func maskOf(positions []int) string {
-	parts := make([]string, len(positions))
+	var b strings.Builder
 	for i, p := range positions {
-		parts[i] = fmt.Sprintf("%d", p)
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(p))
 	}
-	return strings.Join(parts, ",")
+	return b.String()
 }
 
-func projectKey(t value.Tuple, positions []int) string {
-	proj := make(value.Tuple, len(positions))
-	for i, p := range positions {
-		proj[i] = t[p]
+// keyHash hashes the projection of t onto the index's key positions in
+// place, without materializing the projected tuple.
+func (ix *hashIndex) keyHash(t value.Tuple) uint64 {
+	h := value.HashSeed
+	for _, p := range ix.positions {
+		h = value.HashMix(h, t[p])
 	}
-	return proj.Key()
+	return h
+}
+
+// projMatches reports whether t's projection onto positions equals key
+// element-wise.
+func projMatches(t value.Tuple, positions []int, key value.Tuple) bool {
+	for i, p := range positions {
+		if !t[p].Equal(key[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// projEqual reports whether two tuples agree on the key positions.
+func projEqual(t, u value.Tuple, positions []int) bool {
+	for _, p := range positions {
+		if !t[p].Equal(u[p]) {
+			return false
+		}
+	}
+	return true
 }
 
 func (ix *hashIndex) add(t value.Tuple) {
-	k := projectKey(t, ix.positions)
-	ix.buckets[k] = append(ix.buckets[k], t)
+	h := ix.keyHash(t)
+	bucket := ix.buckets[h]
+	for gi := range bucket {
+		if projEqual(bucket[gi].rep, t, ix.positions) {
+			bucket[gi].tuples = append(bucket[gi].tuples, t)
+			return
+		}
+	}
+	ix.buckets[h] = append(bucket, indexGroup{rep: t, tuples: []value.Tuple{t}})
 }
 
 func (ix *hashIndex) remove(t value.Tuple) {
-	k := projectKey(t, ix.positions)
-	bucket := ix.buckets[k]
-	for i, u := range bucket {
-		if u.Equal(t) {
-			bucket[i] = bucket[len(bucket)-1]
-			ix.buckets[k] = bucket[:len(bucket)-1]
-			return
+	h := ix.keyHash(t)
+	bucket := ix.buckets[h]
+	for gi := range bucket {
+		g := &bucket[gi]
+		if !projEqual(g.rep, t, ix.positions) {
+			continue
 		}
+		for i, u := range g.tuples {
+			if u.Equal(t) {
+				g.tuples[i] = g.tuples[len(g.tuples)-1]
+				g.tuples = g.tuples[:len(g.tuples)-1]
+				break
+			}
+		}
+		if len(g.tuples) == 0 {
+			if len(bucket) == 1 {
+				delete(ix.buckets, h)
+			} else {
+				bucket[gi] = bucket[len(bucket)-1]
+				ix.buckets[h] = bucket[:len(bucket)-1]
+			}
+		}
+		return
+	}
+}
+
+// rebuild repopulates the index from rel, reusing the bucket map.
+func (ix *hashIndex) rebuild(rel *value.Relation) {
+	clear(ix.buckets)
+	if rel != nil {
+		rel.Each(ix.add)
 	}
 }
 
@@ -77,7 +148,7 @@ func (ix *hashIndex) remove(t value.Tuple) {
 func NewDatabase() *Database {
 	return &Database{
 		rels:    make(map[datalog.PredSym]*value.Relation),
-		indexes: make(map[indexID]*hashIndex),
+		indexes: make(map[datalog.PredSym][]*hashIndex),
 	}
 }
 
@@ -96,10 +167,31 @@ func (db *Database) RelOrEmpty(p datalog.PredSym, arity int) *value.Relation {
 // Set installs rel as the relation for p, dropping any indexes on p.
 func (db *Database) Set(p datalog.PredSym, rel *value.Relation) {
 	db.rels[p] = rel
-	for id := range db.indexes {
-		if id.pred == p {
-			delete(db.indexes, id)
+	delete(db.indexes, p)
+}
+
+// Update installs rel as the relation for p like Set, but keeps the
+// indexes on p that were probed since the last replacement, rebuilding
+// their buckets from rel in place; indexes that went unprobed are dropped
+// (they rebuild lazily if ever needed again). The evaluator uses it when
+// replacing IDB relations so that join indexes built in one evaluation
+// survive to the next, without paying forever for one-off ad-hoc probes.
+func (db *Database) Update(p datalog.PredSym, rel *value.Relation) {
+	db.rels[p] = rel
+	ixs := db.indexes[p]
+	kept := ixs[:0]
+	for _, ix := range ixs {
+		if !ix.hot {
+			continue
 		}
+		ix.hot = false
+		ix.rebuild(rel)
+		kept = append(kept, ix)
+	}
+	if len(kept) == 0 {
+		delete(db.indexes, p)
+	} else {
+		db.indexes[p] = kept
 	}
 }
 
@@ -114,8 +206,8 @@ func (db *Database) Ensure(p datalog.PredSym, arity int) *value.Relation {
 	return r
 }
 
-// Insert adds t to p's relation, maintaining indexes. It reports whether
-// the database changed.
+// Insert adds t to p's relation, maintaining only p's indexes. It reports
+// whether the database changed. The relation takes ownership of t.
 func (db *Database) Insert(p datalog.PredSym, t value.Tuple) bool {
 	r := db.rels[p]
 	if r == nil {
@@ -125,25 +217,21 @@ func (db *Database) Insert(p datalog.PredSym, t value.Tuple) bool {
 	if !r.Add(t) {
 		return false
 	}
-	for id, ix := range db.indexes {
-		if id.pred == p {
-			ix.add(t)
-		}
+	for _, ix := range db.indexes[p] {
+		ix.add(t)
 	}
 	return true
 }
 
-// Delete removes t from p's relation, maintaining indexes. It reports
-// whether the database changed.
+// Delete removes t from p's relation, maintaining only p's indexes. It
+// reports whether the database changed.
 func (db *Database) Delete(p datalog.PredSym, t value.Tuple) bool {
 	r := db.rels[p]
 	if r == nil || !r.Remove(t) {
 		return false
 	}
-	for id, ix := range db.indexes {
-		if id.pred == p {
-			ix.remove(t)
-		}
+	for _, ix := range db.indexes[p] {
+		ix.remove(t)
 	}
 	return true
 }
@@ -151,21 +239,38 @@ func (db *Database) Delete(p datalog.PredSym, t value.Tuple) bool {
 // Index returns (building if needed) a maintained hash index on p keyed by
 // the given positions.
 func (db *Database) Index(p datalog.PredSym, positions []int) *hashIndex {
-	id := indexID{pred: p, mask: maskOf(positions)}
-	if ix := db.indexes[id]; ix != nil {
-		return ix
+	for _, ix := range db.indexes[p] {
+		if slices.Equal(ix.positions, positions) {
+			ix.hot = true
+			return ix
+		}
 	}
-	ix := &hashIndex{positions: positions, buckets: make(map[string][]value.Tuple)}
+	ix := &hashIndex{positions: positions, buckets: make(map[uint64][]indexGroup), hot: true}
 	if r := db.rels[p]; r != nil {
-		r.Each(func(t value.Tuple) { ix.add(t) })
+		r.Each(ix.add)
 	}
-	db.indexes[id] = ix
+	db.indexes[p] = append(db.indexes[p], ix)
 	return ix
 }
 
 // Lookup returns the tuples of p whose projection on positions equals key.
+// The probe hashes key in place; no per-probe tuple or key string is
+// allocated. The returned slice is owned by the index and must not be
+// mutated or retained across updates.
 func (db *Database) Lookup(p datalog.PredSym, positions []int, key value.Tuple) []value.Tuple {
-	return db.Index(p, positions).buckets[key.Key()]
+	ix := db.Index(p, positions)
+	h := value.HashSeed
+	for _, v := range key {
+		h = value.HashMix(h, v)
+	}
+	// Hash collisions are rare: the bucket almost always holds one group,
+	// whose representative is compared against the key once.
+	for _, g := range ix.buckets[h] {
+		if projMatches(g.rep, positions, key) {
+			return g.tuples
+		}
+	}
+	return nil
 }
 
 // IndexStats describes one live index, for diagnostics.
@@ -179,14 +284,19 @@ type IndexStats struct {
 // Indexes reports the live indexes and their bucket shapes (diagnostics).
 func (db *Database) Indexes() []IndexStats {
 	var out []IndexStats
-	for id, ix := range db.indexes {
-		max := 0
-		for _, b := range ix.buckets {
-			if len(b) > max {
-				max = len(b)
+	for p, ixs := range db.indexes {
+		for _, ix := range ixs {
+			groups, max := 0, 0
+			for _, bucket := range ix.buckets {
+				groups += len(bucket)
+				for _, g := range bucket {
+					if len(g.tuples) > max {
+						max = len(g.tuples)
+					}
+				}
 			}
+			out = append(out, IndexStats{Pred: p, Positions: maskOf(ix.positions), Buckets: groups, MaxBucket: max})
 		}
-		out = append(out, IndexStats{Pred: id.pred, Positions: id.mask, Buckets: len(ix.buckets), MaxBucket: max})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pred != out[j].Pred {

@@ -99,11 +99,13 @@ func SourcesEqual(db *Database, sources []*datalog.RelDecl, snap map[string]*val
 }
 
 // ClearDeltas resets the delta relations of every source to empty, to be
-// called between successive putback evaluations.
+// called between successive putback evaluations. Indexes on the delta
+// predicates (if any rule probes them by key) are kept and emptied rather
+// than dropped.
 func ClearDeltas(db *Database, sources []*datalog.RelDecl) {
 	for _, s := range sources {
-		db.Set(datalog.Ins(s.Name), value.NewRelation(s.Arity()))
-		db.Set(datalog.Del(s.Name), value.NewRelation(s.Arity()))
+		db.Update(datalog.Ins(s.Name), value.NewRelation(s.Arity()))
+		db.Update(datalog.Del(s.Name), value.NewRelation(s.Arity()))
 	}
 }
 

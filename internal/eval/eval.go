@@ -76,7 +76,10 @@ func (e *Evaluator) Eval(db *Database) error {
 				return err
 			}
 		}
-		db.Set(sym, out)
+		// Update, not Set: keep any join indexes on the IDB predicate alive,
+		// rebuilt from the fresh relation, instead of dropping them to be
+		// lazily reconstructed on the next evaluation.
+		db.Update(sym, out)
 	}
 	return nil
 }
@@ -148,12 +151,17 @@ type step struct {
 	bindRt bool // equality binds the right slot
 }
 
-// compiledRule is an executable plan for one rule.
+// compiledRule is an executable plan for one rule. The plan owns its
+// runtime environment (variable bindings plus per-step scratch buffers),
+// allocated once at compile time and reused across runs — the Evaluator is
+// documented as not safe for concurrent use, and the engine serializes
+// evaluations under its write lock.
 type compiledRule struct {
 	rule  *datalog.Rule
 	nvars int
 	steps []step
 	head  []argSlot // nil for constraints
+	en    env
 }
 
 // varIndexer assigns dense indexes to variable names.
@@ -340,15 +348,39 @@ func compileRule(r *datalog.Rule) (*compiledRule, error) {
 		}
 	}
 	cr.nvars = len(vi.idx)
+	cr.en = env{
+		vals:    make([]value.Value, cr.nvars),
+		set:     make([]bool, cr.nvars),
+		scratch: make([]value.Tuple, len(cr.steps)),
+		newly:   make([][]int, len(cr.steps)),
+	}
+	for i := range cr.steps {
+		st := &cr.steps[i]
+		switch st.kind {
+		case stepNegAtom:
+			if st.fullKey {
+				cr.en.scratch[i] = make(value.Tuple, len(st.args))
+			} else {
+				cr.en.scratch[i] = make(value.Tuple, len(st.keyPos))
+			}
+		case stepScan:
+			cr.en.scratch[i] = make(value.Tuple, len(st.keyPos))
+			cr.en.newly[i] = make([]int, 0, len(st.args))
+		}
+	}
 	return cr, nil
 }
 
 // --- rule execution ---------------------------------------------------
 
-// env is the runtime variable binding state.
+// env is the runtime variable binding state, plus per-step scratch: probe
+// keys (or full negation tuples) and newly-bound variable lists, reused
+// across probes instead of allocated per tuple.
 type env struct {
-	vals []value.Value
-	set  []bool
+	vals    []value.Value
+	set     []bool
+	scratch []value.Tuple
+	newly   [][]int
 }
 
 func (e *env) get(s argSlot) value.Value {
@@ -361,7 +393,12 @@ func (e *env) get(s argSlot) value.Value {
 // run executes the plan over db, calling emit for every derived head tuple.
 // emit returning false stops the evaluation early.
 func (cr *compiledRule) run(db *Database, emit func(value.Tuple) bool) error {
-	en := &env{vals: make([]value.Value, cr.nvars), set: make([]bool, cr.nvars)}
+	en := &cr.en
+	// exec unsets every binding on the way out, but re-zero defensively so
+	// one run can never leak bindings into the next.
+	for i := range en.set {
+		en.set[i] = false
+	}
 	_, err := cr.exec(db, en, 0, emit)
 	return err
 }
@@ -411,7 +448,7 @@ func (cr *compiledRule) exec(db *Database, en *env, i int, emit func(value.Tuple
 			return cr.exec(db, en, i+1, emit)
 		}
 		if st.fullKey {
-			t := make(value.Tuple, len(st.args))
+			t := en.scratch[i]
 			for j, s := range st.args {
 				t[j] = en.get(s)
 			}
@@ -420,7 +457,7 @@ func (cr *compiledRule) exec(db *Database, en *env, i int, emit func(value.Tuple
 			}
 			return cr.exec(db, en, i+1, emit)
 		}
-		key := make(value.Tuple, len(st.keyPos))
+		key := en.scratch[i]
 		for j, p := range st.keyPos {
 			key[j] = en.get(st.args[p])
 		}
@@ -435,7 +472,7 @@ func (cr *compiledRule) exec(db *Database, en *env, i int, emit func(value.Tuple
 			return true, nil
 		}
 		tryTuple := func(t value.Tuple) (bool, error) {
-			var newly []int
+			newly := en.newly[i][:0]
 			ok := true
 			for j, s := range st.args {
 				switch {
@@ -479,7 +516,7 @@ func (cr *compiledRule) exec(db *Database, en *env, i int, emit func(value.Tuple
 			})
 			return cont, err
 		}
-		key := make(value.Tuple, len(st.keyPos))
+		key := en.scratch[i]
 		for j, p := range st.keyPos {
 			key[j] = en.get(st.args[p])
 		}

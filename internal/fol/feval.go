@@ -17,12 +17,10 @@ type Model struct {
 // with the given extra values (typically the constants of the formula to be
 // evaluated).
 func NewModel(db *eval.Database, extra ...value.Value) *Model {
-	seen := make(map[string]bool)
+	seen := value.NewRelation(1)
 	var dom []value.Value
 	add := func(v value.Value) {
-		k := value.Tuple{v}.Key()
-		if !seen[k] {
-			seen[k] = true
+		if seen.Add(value.Tuple{v}) {
 			dom = append(dom, v)
 		}
 	}

@@ -8,16 +8,25 @@ import (
 // Relation is a finite set of tuples of a fixed arity, with set semantics.
 // It is the runtime representation of both EDB and IDB relations.
 //
-// Membership is keyed by Tuple.Key, so Int/Float duplicates collapse the
-// same way Equal treats them.
+// Membership is hash-native: tuples bucket by Tuple.Hash and collisions
+// resolve with Tuple.Equal, so Int/Float duplicates collapse the same way
+// Equal treats them, without materializing a string key per tuple.
+//
+// Tuples are stored by reference, not defensively copied: a tuple handed to
+// Add (directly or via RelationOf/UnionWith) is owned by the relation from
+// then on, and tuples observed through Each/Tuples/Sorted are the stored
+// ones. Callers must treat tuples as immutable once they reach a relation;
+// every producer in this codebase allocates a fresh tuple per derived row
+// (see compiledRule.exec, applyAssignments).
 type Relation struct {
-	arity  int
-	tuples map[string]Tuple
+	arity   int
+	size    int
+	buckets map[uint64][]Tuple
 }
 
 // NewRelation returns an empty relation of the given arity.
 func NewRelation(arity int) *Relation {
-	return &Relation{arity: arity, tuples: make(map[string]Tuple)}
+	return &Relation{arity: arity, buckets: make(map[uint64][]Tuple)}
 }
 
 // RelationOf builds a relation of the given arity from tuples.
@@ -33,54 +42,87 @@ func RelationOf(arity int, tuples ...Tuple) *Relation {
 func (r *Relation) Arity() int { return r.arity }
 
 // Len reports the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return r.size }
 
 // Empty reports whether the relation has no tuples.
-func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
+func (r *Relation) Empty() bool { return r.size == 0 }
 
-// Add inserts t; it reports whether the relation changed. It panics on an
-// arity mismatch, which always indicates a bug in the caller.
+// addHashed inserts t under its precomputed hash, reporting whether the
+// relation changed.
+func (r *Relation) addHashed(h uint64, t Tuple) bool {
+	bucket := r.buckets[h]
+	for _, u := range bucket {
+		if u.Equal(t) {
+			return false
+		}
+	}
+	r.buckets[h] = append(bucket, t)
+	r.size++
+	return true
+}
+
+// containsHashed reports membership of t under its precomputed hash.
+func (r *Relation) containsHashed(h uint64, t Tuple) bool {
+	for _, u := range r.buckets[h] {
+		if u.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts t; it reports whether the relation changed. The relation
+// takes ownership of t (no defensive copy); t must not be mutated
+// afterwards. Add panics on an arity mismatch, which always indicates a
+// bug in the caller.
 func (r *Relation) Add(t Tuple) bool {
 	if len(t) != r.arity {
 		panic("value: relation arity mismatch on Add")
 	}
-	k := t.Key()
-	if _, ok := r.tuples[k]; ok {
-		return false
-	}
-	r.tuples[k] = t.Clone()
-	return true
+	return r.addHashed(t.Hash(), t)
 }
 
 // Remove deletes t; it reports whether the relation changed.
 func (r *Relation) Remove(t Tuple) bool {
-	k := t.Key()
-	if _, ok := r.tuples[k]; !ok {
-		return false
+	h := t.Hash()
+	bucket := r.buckets[h]
+	for i, u := range bucket {
+		if u.Equal(t) {
+			if len(bucket) == 1 {
+				delete(r.buckets, h)
+			} else {
+				bucket[i] = bucket[len(bucket)-1]
+				r.buckets[h] = bucket[:len(bucket)-1]
+			}
+			r.size--
+			return true
+		}
 	}
-	delete(r.tuples, k)
-	return true
+	return false
 }
 
 // Contains reports whether t is in the relation.
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.tuples[t.Key()]
-	return ok
+	return r.containsHashed(t.Hash(), t)
 }
 
 // Each calls fn for every tuple; fn must not mutate the relation.
 func (r *Relation) Each(fn func(Tuple)) {
-	for _, t := range r.tuples {
-		fn(t)
+	for _, bucket := range r.buckets {
+		for _, t := range bucket {
+			fn(t)
+		}
 	}
 }
 
 // EachUntil calls fn for every tuple until fn returns false; it reports
 // whether the iteration ran to completion.
 func (r *Relation) EachUntil(fn func(Tuple) bool) bool {
-	for _, t := range r.tuples {
-		if !fn(t) {
-			return false
+	for _, bucket := range r.buckets {
+		for _, t := range bucket {
+			if !fn(t) {
+				return false
+			}
 		}
 	}
 	return true
@@ -88,9 +130,9 @@ func (r *Relation) EachUntil(fn func(Tuple) bool) bool {
 
 // Tuples returns the tuples in an unspecified order.
 func (r *Relation) Tuples() []Tuple {
-	out := make([]Tuple, 0, len(r.tuples))
-	for _, t := range r.tuples {
-		out = append(out, t)
+	out := make([]Tuple, 0, r.size)
+	for _, bucket := range r.buckets {
+		out = append(out, bucket...)
 	}
 	return out
 }
@@ -102,34 +144,43 @@ func (r *Relation) Sorted() []Tuple {
 	return out
 }
 
-// Clone returns a deep copy of r.
+// Clone returns an independent copy of r. The tuples themselves are shared
+// (they are immutable by convention); only the set structure is copied.
 func (r *Relation) Clone() *Relation {
-	c := NewRelation(r.arity)
-	for k, t := range r.tuples {
-		c.tuples[k] = t.Clone()
+	c := &Relation{arity: r.arity, size: r.size, buckets: make(map[uint64][]Tuple, len(r.buckets))}
+	for h, bucket := range r.buckets {
+		c.buckets[h] = append([]Tuple(nil), bucket...)
 	}
 	return c
 }
 
 // Equal reports whether two relations hold exactly the same tuples.
 func (r *Relation) Equal(s *Relation) bool {
-	if r.Len() != s.Len() {
+	if r.size != s.size {
 		return false
 	}
-	for k := range r.tuples {
-		if _, ok := s.tuples[k]; !ok {
-			return false
+	for h, bucket := range r.buckets {
+		for _, t := range bucket {
+			if !s.containsHashed(h, t) {
+				return false
+			}
 		}
 	}
 	return true
 }
 
 // UnionWith inserts every tuple of s into r and reports whether r changed.
+// It panics on an arity mismatch, like Add.
 func (r *Relation) UnionWith(s *Relation) bool {
+	if r.arity != s.arity {
+		panic("value: relation arity mismatch on UnionWith")
+	}
 	changed := false
-	for _, t := range s.tuples {
-		if r.Add(t) {
-			changed = true
+	for h, bucket := range s.buckets {
+		for _, t := range bucket {
+			if r.addHashed(h, t) {
+				changed = true
+			}
 		}
 	}
 	return changed
@@ -138,10 +189,11 @@ func (r *Relation) UnionWith(s *Relation) bool {
 // SubtractAll removes every tuple of s from r and reports whether r changed.
 func (r *Relation) SubtractAll(s *Relation) bool {
 	changed := false
-	for k := range s.tuples {
-		if _, ok := r.tuples[k]; ok {
-			delete(r.tuples, k)
-			changed = true
+	for _, bucket := range s.buckets {
+		for _, t := range bucket {
+			if r.Remove(t) {
+				changed = true
+			}
 		}
 	}
 	return changed
@@ -151,12 +203,14 @@ func (r *Relation) SubtractAll(s *Relation) bool {
 func (r *Relation) Intersect(s *Relation) *Relation {
 	out := NewRelation(r.arity)
 	small, big := r, s
-	if s.Len() < r.Len() {
+	if s.size < r.size {
 		small, big = s, r
 	}
-	for k, t := range small.tuples {
-		if _, ok := big.tuples[k]; ok {
-			out.tuples[k] = t.Clone()
+	for h, bucket := range small.buckets {
+		for _, t := range bucket {
+			if big.containsHashed(h, t) {
+				out.addHashed(h, t)
+			}
 		}
 	}
 	return out
@@ -165,9 +219,11 @@ func (r *Relation) Intersect(s *Relation) *Relation {
 // Minus returns r \ s as a new relation.
 func (r *Relation) Minus(s *Relation) *Relation {
 	out := NewRelation(r.arity)
-	for k, t := range r.tuples {
-		if _, ok := s.tuples[k]; !ok {
-			out.tuples[k] = t.Clone()
+	for h, bucket := range r.buckets {
+		for _, t := range bucket {
+			if !s.containsHashed(h, t) {
+				out.addHashed(h, t)
+			}
 		}
 	}
 	return out

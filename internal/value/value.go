@@ -209,9 +209,14 @@ func (v Value) SQL() string {
 // Tuple is a fixed-arity sequence of values: one row of a relation.
 type Tuple []Value
 
-// Key returns a canonical encoding of t usable as a map key. Two tuples have
-// the same key iff they are element-wise Equal (with numeric widening, so
-// Int(1) and Float(1) collide, matching Equal).
+// Key returns a canonical text encoding of t usable as a map key. Two
+// tuples have the same key iff they are element-wise Equal (with numeric
+// widening, so Int(1) and Float(1) collide, matching Equal).
+//
+// Key allocates a string per call; the hot paths (Relation membership, the
+// evaluator's hash indexes) identify tuples by Tuple.Hash instead. Key is
+// kept for contexts that genuinely need deterministic text (reference
+// implementations in tests, external map keys that must be printable).
 func (t Tuple) Key() string {
 	var b strings.Builder
 	b.Grow(len(t) * 8)
