@@ -16,8 +16,9 @@ import (
 
 func main() {
 	var (
-		trials = flag.Int("trials", 3000, "randomized oracle trials")
-		budget = flag.Int("budget", 150000, "exhaustive/guided oracle budget")
+		trials   = flag.Int("trials", 3000, "randomized oracle trials")
+		budget   = flag.Int("budget", 150000, "exhaustive/guided oracle budget")
+		parallel = flag.Int("parallel", -1, "concurrent view validations (-1 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -28,7 +29,7 @@ func main() {
 		GuideBudget:      *budget,
 		Seed:             1,
 	}}
-	rows := bench.RunTable1(opts)
+	rows := bench.RunTable1Parallel(opts, *parallel)
 	fmt.Println("Table 1: validation results (reproduction)")
 	fmt.Println()
 	fmt.Print(bench.FormatTable1(rows))

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"birds/internal/core"
+	"birds/internal/engine"
 	"birds/internal/sat"
 )
 
@@ -76,6 +77,34 @@ func TestTable1Validation(t *testing.T) {
 	}
 }
 
+// RunTable1Parallel must reproduce the sequential rows: same order, same
+// classification, same validation outcome.
+func TestRunTable1ParallelAgrees(t *testing.T) {
+	t.Parallel()
+	rows := RunTable1Parallel(testOptions(), 0)
+	entries := Table1()
+	if len(rows) != len(entries) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(entries))
+	}
+	for i, row := range rows {
+		e := entries[i]
+		if row.Entry.ID != e.ID {
+			t.Fatalf("row %d is entry %d; parallel run reordered rows", i, row.Entry.ID)
+		}
+		if e.Program == "" {
+			continue
+		}
+		if row.Err != nil {
+			t.Errorf("%s: %v", e.Name, row.Err)
+			continue
+		}
+		if !row.Valid || row.LVGN != e.WantLVGN || row.NR != e.WantNR {
+			t.Errorf("%s: Valid=%v LVGN=%v NR=%v, want valid with LVGN=%v NR=%v (%s)",
+				e.Name, row.Valid, row.LVGN, row.NR, e.WantLVGN, e.WantNR, row.FailureDetail)
+		}
+	}
+}
+
 func TestFormatTable1(t *testing.T) {
 	rows := []Table1Row{
 		{Entry: Table1Entry{ID: 23, Name: "emp_view", Operators: "IJ,P,A"}},
@@ -92,7 +121,7 @@ func TestFig6ViewsRunTiny(t *testing.T) {
 		t.Run(v.Name, func(t *testing.T) {
 			t.Parallel()
 			for _, incremental := range []bool{false, true} {
-				pts, err := RunFig6(v, []int{200, 400}, incremental, 4, 1)
+				pts, err := RunFig6(v, []int{200, 400}, incremental, 4, 1, 1)
 				if err != nil {
 					t.Fatalf("incremental=%v: %v", incremental, err)
 				}
@@ -109,42 +138,67 @@ func TestFig6ViewsRunTiny(t *testing.T) {
 	}
 }
 
-// The two execution modes must produce identical relations on the Figure 6
-// workloads.
+// The four execution configurations — full vs incremental strategy, each
+// sequential and with parallel evaluators — must produce identical view and
+// base-table contents on the Figure 6 workloads after the same transaction
+// stream. This is the differential harness behind the benchmark's
+// parallel-vs-sequential claim.
 func TestFig6ModesAgree(t *testing.T) {
 	for _, v := range Fig6Views() {
 		v := v
 		t.Run(v.Name, func(t *testing.T) {
 			t.Parallel()
 			const n = 300
-			full, err := SetupFig6(v, n, false, 7)
-			if err != nil {
-				t.Fatal(err)
+			type cfg struct {
+				name        string
+				incremental bool
+				parallelism int
 			}
-			inc, err := SetupFig6(v, n, true, 7)
-			if err != nil {
-				t.Fatal(err)
+			cfgs := []cfg{
+				{"full-seq", false, 1},
+				{"full-par", false, 4},
+				{"inc-seq", true, 1},
+				{"inc-par", true, 4},
+			}
+			dbs := make([]*engine.DB, len(cfgs))
+			for i, c := range cfgs {
+				db, err := SetupFig6(v, n, c.incremental, 7, c.parallelism)
+				if err != nil {
+					t.Fatalf("%s: %v", c.name, err)
+				}
+				dbs[i] = db
 			}
 			for round := 1; round <= 6; round++ {
 				for _, txn := range v.Update(n, round) {
-					e1 := full.Exec(txn...)
-					e2 := inc.Exec(txn...)
-					if (e1 == nil) != (e2 == nil) {
-						t.Fatalf("round %d: error mismatch: %v vs %v", round, e1, e2)
+					ref := dbs[0].Exec(txn...)
+					for i := 1; i < len(dbs); i++ {
+						if e := dbs[i].Exec(txn...); (e == nil) != (ref == nil) {
+							t.Fatalf("round %d: error mismatch %s vs %s: %v vs %v",
+								round, cfgs[0].name, cfgs[i].name, ref, e)
+						}
 					}
 				}
 			}
-			viewName := v.Name
-			a, err := full.Rel(viewName)
-			if err != nil {
-				t.Fatal(err)
+			// Compare the view and every registered base table.
+			var names []string
+			for _, info := range dbs[0].Relations() {
+				names = append(names, info.Name)
 			}
-			b, err := inc.Rel(viewName)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !a.Equal(b) {
-				t.Fatalf("view diverged between modes: %d vs %d tuples", a.Len(), b.Len())
+			for _, name := range names {
+				ref, err := dbs[0].Rel(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 1; i < len(dbs); i++ {
+					got, err := dbs[i].Rel(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !got.Equal(ref) {
+						t.Fatalf("%s diverged between %s and %s: %d vs %d tuples",
+							name, cfgs[0].name, cfgs[i].name, ref.Len(), got.Len())
+					}
+				}
 			}
 		})
 	}

@@ -3,10 +3,12 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"birds/internal/core"
 	"birds/internal/datalog"
+	"birds/internal/eval"
 	"birds/internal/sqlgen"
 )
 
@@ -106,11 +108,38 @@ func RunTable1Entry(e Table1Entry, opts core.Options) Table1Row {
 
 // RunTable1 runs the full benchmark.
 func RunTable1(opts core.Options) []Table1Row {
+	return RunTable1Parallel(opts, 1)
+}
+
+// RunTable1Parallel runs the full benchmark with the entries validated
+// concurrently by up to `workers` goroutines. Entry validations are
+// independent (each compiles its own putback and oracle), so the rows are
+// identical to a sequential run; only wall time changes. workers <= 0
+// selects the GOMAXPROCS-derived default.
+func RunTable1Parallel(opts core.Options, workers int) []Table1Row {
 	entries := Table1()
 	rows := make([]Table1Row, len(entries))
-	for i, e := range entries {
-		rows[i] = RunTable1Entry(e, opts)
+	if workers <= 0 {
+		workers = eval.DefaultParallelism()
 	}
+	if workers <= 1 {
+		for i, e := range entries {
+			rows[i] = RunTable1Entry(e, opts)
+		}
+		return rows
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, e := range entries {
+		wg.Add(1)
+		go func(i int, e Table1Entry) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i] = RunTable1Entry(e, opts)
+		}(i, e)
+	}
+	wg.Wait()
 	return rows
 }
 

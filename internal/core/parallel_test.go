@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"birds/internal/datalog"
+)
+
+// parallelOptions is testOptions with the oracle's witness search fanned
+// out over 4 workers.
+func parallelOptions() Options {
+	o := testOptions()
+	o.Oracle.Parallelism = 4
+	return o
+}
+
+// Validation outcomes must not depend on the oracle's parallelism: the
+// same programs validate (or are rejected in the same pass) sequentially
+// and with parallel witness search.
+func TestValidateParallelAgreesWithSequential(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		expected []string // expected get rules, nil to derive
+		valid    bool
+		pass     Pass // failing pass when invalid
+	}{
+		{
+			name:     "union-valid",
+			src:      unionSrc,
+			expected: []string{"v(X) :- r1(X).", "v(X) :- r2(X)."},
+			valid:    true,
+		},
+		{
+			name: "ill-defined",
+			src: `
+source r(a:int).
+view v(a:int).
++r(X) :- v(X).
+-r(X) :- v(X), r(X).
+`,
+			valid: false,
+			pass:  PassWellDefined,
+		},
+		{
+			name: "putget-violation",
+			src: `
+source r(a:int).
+view v(a:int).
+-r(X) :- r(X), v(X).
++r(X) :- v(X), not r(X).
+`,
+			valid: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var expected []*datalog.Rule
+			if tc.expected != nil {
+				expected = mustRules(t, tc.expected...)
+			}
+			runOne := func(opts Options) *Result {
+				pb := mustPutback(t, tc.src)
+				res, err := Validate(pb, expected, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			seq := runOne(testOptions())
+			par := runOne(parallelOptions())
+			if seq.Valid != tc.valid {
+				t.Fatalf("sequential Valid = %v, want %v (%v)", seq.Valid, tc.valid, seq.Failure)
+			}
+			if par.Valid != seq.Valid {
+				t.Fatalf("parallel Valid = %v, sequential = %v (parallel failure: %v)", par.Valid, seq.Valid, par.Failure)
+			}
+			if tc.valid {
+				if par.UsedExpected != seq.UsedExpected {
+					t.Errorf("UsedExpected diverged: parallel %v, sequential %v", par.UsedExpected, seq.UsedExpected)
+				}
+				if len(par.Get) != len(seq.Get) {
+					t.Errorf("derived get size diverged: parallel %d rules, sequential %d", len(par.Get), len(seq.Get))
+				}
+			} else if tc.pass != "" {
+				if seq.Failure.Pass != tc.pass || par.Failure.Pass != tc.pass {
+					t.Errorf("failing pass: sequential %q, parallel %q, want %q",
+						seq.Failure.Pass, par.Failure.Pass, tc.pass)
+				}
+			}
+			// Parallel search must still report a concrete witness on
+			// rejection.
+			if !tc.valid && par.Failure.Witness == nil && seq.Failure.Witness != nil {
+				t.Error("parallel rejection lost the witness instance")
+			}
+		})
+	}
+}
+
+// Repeated parallel validations of the same program must agree with each
+// other (task-indexed witness selection makes the search deterministic).
+func TestValidateParallelDeterministic(t *testing.T) {
+	src := `
+source r(a:int).
+view v(a:int).
++r(X) :- v(X).
+-r(X) :- v(X), r(X).
+`
+	var firstDetail string
+	for i := 0; i < 3; i++ {
+		pb := mustPutback(t, src)
+		res, err := Validate(pb, nil, parallelOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Valid {
+			t.Fatal("program must be rejected")
+		}
+		detail := string(res.Failure.Pass) + ": " + res.Failure.Detail + " / " + res.Failure.Witness.String()
+		if i == 0 {
+			firstDetail = detail
+		} else if detail != firstDetail {
+			t.Fatalf("run %d diverged:\n%s\nvs\n%s", i, detail, firstDetail)
+		}
+	}
+}

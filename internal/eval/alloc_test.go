@@ -1,0 +1,123 @@
+package eval
+
+import (
+	"testing"
+
+	"birds/internal/datalog"
+	"birds/internal/value"
+)
+
+// Allocation-regression guards for the PR 1 hot paths. The parallel
+// evaluator merges per-worker partial relations and resolves indexes up
+// front; none of that may reintroduce per-tuple allocations into the warm
+// paths below. testing.AllocsPerRun bounds are exact where the path is
+// allocation-free and small fixed budgets where Go's map/closure machinery
+// makes zero unattainable — either way, a per-tuple regression (allocations
+// scaling with relation or delta size) trips them loudly.
+
+func allocGuardDB(n int) *Database {
+	db := NewDatabase()
+	rel := value.NewRelation(2)
+	for i := 0; i < n; i++ {
+		rel.Add(value.Tuple{value.Int(int64(i)), value.Int(int64(i % 100))})
+	}
+	db.Set(datalog.Pred("r"), rel)
+	return db
+}
+
+// A warm index probe hashes the key projection in place: zero allocations.
+func TestAllocsIndexProbe(t *testing.T) {
+	db := allocGuardDB(50000)
+	p := datalog.Pred("r")
+	positions := []int{0}
+	key := value.Tuple{value.Int(31234)}
+	db.Index(p, positions) // warm
+	if allocs := testing.AllocsPerRun(200, func() {
+		if len(db.Lookup(p, positions, key)) != 1 {
+			t.Fatal("probe must hit exactly one tuple")
+		}
+	}); allocs != 0 {
+		t.Errorf("warm index probe allocates %v objects per run, want 0", allocs)
+	}
+}
+
+// The prepared read-only probe used by parallel workers is the same pure
+// lookup: zero allocations.
+func TestAllocsPreparedProbe(t *testing.T) {
+	db := allocGuardDB(50000)
+	ix := db.Index(datalog.Pred("r"), []int{0})
+	key := value.Tuple{value.Int(1234)}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if len(ix.lookup(key)) != 1 {
+			t.Fatal("probe must hit exactly one tuple")
+		}
+	}); allocs != 0 {
+		t.Errorf("prepared probe allocates %v objects per run, want 0", allocs)
+	}
+}
+
+// Relation membership hashes the tuple in place: zero allocations.
+func TestAllocsContains(t *testing.T) {
+	db := allocGuardDB(50000)
+	rel := db.Rel(datalog.Pred("r"))
+	hit := value.Tuple{value.Int(777), value.Int(77)}
+	miss := value.Tuple{value.Int(-5), value.Int(0)}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if !rel.Contains(hit) || rel.Contains(miss) {
+			t.Fatal("membership answers changed")
+		}
+	}); allocs != 0 {
+		t.Errorf("Contains allocates %v objects per run, want 0", allocs)
+	}
+}
+
+// Applying a delta maintains the relation and its live indexes in place.
+// The budget is a small constant (hash-bucket map bookkeeping when a bucket
+// empties and is re-created); what the guard forbids is scaling with the
+// base relation or with index count.
+func TestAllocsInsertDeleteWithIndexes(t *testing.T) {
+	db := allocGuardDB(50000)
+	p := datalog.Pred("r")
+	db.Index(p, []int{0})
+	db.Index(p, []int{1})
+	tu := value.Tuple{value.Int(900001), value.Int(3)}
+	// Warm one cycle so steady-state bucket slices exist.
+	db.Insert(p, tu)
+	db.Delete(p, tu)
+	const budget = 8
+	if allocs := testing.AllocsPerRun(200, func() {
+		db.Insert(p, tu)
+		db.Delete(p, tu)
+	}); allocs > budget {
+		t.Errorf("insert+delete with 2 live indexes allocates %v objects per run, budget %d", allocs, budget)
+	}
+}
+
+// A full ApplyDeltas round (non-contradiction check + index-maintaining
+// insert/delete) against a large base relation stays within a fixed budget
+// independent of the base size.
+func TestAllocsApplyDeltas(t *testing.T) {
+	prog := mustProg(t, `
+source r(a:int, b:int).
+view v(a:int, b:int).
++r(X,Y) :- +v(X,Y), not r(X,Y).
+`)
+	db := allocGuardDB(50000)
+	db.Index(datalog.Pred("r"), []int{0})
+	ins := value.RelationOf(2, value.Tuple{value.Int(700001), value.Int(1)})
+	db.Set(datalog.Ins("r"), ins)
+	db.Set(datalog.Del("r"), value.NewRelation(2))
+	// First application inserts the tuple; subsequent rounds are no-ops
+	// (set semantics) and must not allocate per delta tuple.
+	if _, _, err := ApplyDeltas(db, prog.Sources); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 8
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := ApplyDeltas(db, prog.Sources); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > budget {
+		t.Errorf("steady-state ApplyDeltas allocates %v objects per run, budget %d", allocs, budget)
+	}
+}

@@ -136,6 +136,26 @@ func (ix *hashIndex) remove(t value.Tuple) {
 	}
 }
 
+// lookup returns the tuples whose projection on the index's key positions
+// equals key. It is a pure read — no allocation, no mutation — and is safe
+// to call concurrently from many goroutines as long as the index (and the
+// indexed relation) is not being mutated; the parallel evaluator relies on
+// this after resolving indexes in its serial prepare phase.
+func (ix *hashIndex) lookup(key value.Tuple) []value.Tuple {
+	h := value.HashSeed
+	for _, v := range key {
+		h = value.HashMix(h, v)
+	}
+	// Hash collisions are rare: the bucket almost always holds one group,
+	// whose representative is compared against the key once.
+	for _, g := range ix.buckets[h] {
+		if projMatches(g.rep, ix.positions, key) {
+			return g.tuples
+		}
+	}
+	return nil
+}
+
 // rebuild repopulates the index from rel, reusing the bucket map.
 func (ix *hashIndex) rebuild(rel *value.Relation) {
 	clear(ix.buckets)
@@ -258,19 +278,7 @@ func (db *Database) Index(p datalog.PredSym, positions []int) *hashIndex {
 // allocated. The returned slice is owned by the index and must not be
 // mutated or retained across updates.
 func (db *Database) Lookup(p datalog.PredSym, positions []int, key value.Tuple) []value.Tuple {
-	ix := db.Index(p, positions)
-	h := value.HashSeed
-	for _, v := range key {
-		h = value.HashMix(h, v)
-	}
-	// Hash collisions are rare: the bucket almost always holds one group,
-	// whose representative is compared against the key once.
-	for _, g := range ix.buckets[h] {
-		if projMatches(g.rep, positions, key) {
-			return g.tuples
-		}
-	}
-	return nil
+	return db.Index(p, positions).lookup(key)
 }
 
 // IndexStats describes one live index, for diagnostics.

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
 
 	"birds/internal/analysis"
 	"birds/internal/datalog"
@@ -11,14 +12,19 @@ import (
 // Evaluator is a compiled, reusable bottom-up evaluator for a nonrecursive
 // Datalog program. Compile once with New, then call Eval repeatedly as the
 // EDB changes. An Evaluator (and the Database it runs over) is not safe
-// for concurrent use; callers serialize (the engine holds one lock per
-// transaction).
+// for concurrent use by multiple callers; callers serialize (the engine
+// holds one lock per transaction). With SetParallelism(>1) a single Eval
+// call fans its work out over worker goroutines internally; results are
+// identical to the sequential evaluation.
 type Evaluator struct {
 	prog        *datalog.Program
 	order       []datalog.PredSym
+	levels      [][]datalog.PredSym // topological leveling of order: level i depends only on levels < i
+	deps        map[datalog.PredSym][]datalog.PredSym
 	rules       map[datalog.PredSym][]*compiledRule
 	constraints []*compiledRule
 	arities     map[datalog.PredSym]int
+	parallelism int
 }
 
 // New stratifies and compiles the program. It fails on recursive or unsafe
@@ -32,10 +38,11 @@ func New(prog *datalog.Program) (*Evaluator, error) {
 		return nil, err
 	}
 	e := &Evaluator{
-		prog:    prog,
-		order:   order,
-		rules:   make(map[datalog.PredSym][]*compiledRule),
-		arities: make(map[datalog.PredSym]int),
+		prog:        prog,
+		order:       order,
+		rules:       make(map[datalog.PredSym][]*compiledRule),
+		arities:     make(map[datalog.PredSym]int),
+		parallelism: 1,
 	}
 	for _, r := range prog.Rules {
 		cr, err := compileRule(r)
@@ -53,6 +60,33 @@ func New(prog *datalog.Program) (*Evaluator, error) {
 		e.arities[h] = r.Head.Arity()
 		e.rules[h] = append(e.rules[h], cr)
 	}
+
+	// Restrict the dependency graph to IDB predicates and level the DAG:
+	// level(p) = 1 + max level of p's IDB dependencies. Predicates of one
+	// level are independent and can be evaluated concurrently.
+	idb := prog.IDBPreds()
+	e.deps = make(map[datalog.PredSym][]datalog.PredSym, len(order))
+	for sym, ds := range analysis.Deps(prog) {
+		for _, d := range ds {
+			if idb[d] {
+				e.deps[sym] = append(e.deps[sym], d)
+			}
+		}
+	}
+	lvl := make(map[datalog.PredSym]int, len(order))
+	for _, sym := range order {
+		l := 0
+		for _, d := range e.deps[sym] {
+			if dl := lvl[d] + 1; dl > l {
+				l = dl
+			}
+		}
+		lvl[sym] = l
+		for len(e.levels) <= l {
+			e.levels = append(e.levels, nil)
+		}
+		e.levels[l] = append(e.levels[l], sym)
+	}
 	return e, nil
 }
 
@@ -62,31 +96,100 @@ func (e *Evaluator) Program() *datalog.Program { return e.prog }
 // IDBOrder returns the bottom-up evaluation order of IDB predicates.
 func (e *Evaluator) IDBOrder() []datalog.PredSym { return e.order }
 
+// DefaultParallelism is the GOMAXPROCS-derived worker count used when a
+// caller asks for parallel evaluation without picking a number.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// SetParallelism sets the number of worker goroutines one Eval call may use.
+// p <= 0 selects DefaultParallelism; p == 1 (the default) evaluates on the
+// calling goroutine. Parallel and sequential evaluation produce identical
+// relations — set-identical under Relation.Equal, with the same
+// lookup-observable index contents: rule outputs are sets, shards partition
+// tuples by hash bucket, and per-worker partial results are merged in a
+// fixed order after a level barrier. SetParallelism must not be called
+// concurrently with Eval.
+func (e *Evaluator) SetParallelism(p int) {
+	if p <= 0 {
+		p = DefaultParallelism()
+	}
+	e.parallelism = p
+}
+
+// Parallelism reports the configured worker count.
+func (e *Evaluator) Parallelism() int { return e.parallelism }
+
 // Eval computes every IDB relation bottom-up and stores the results in db
 // (replacing any previous IDB contents). The EDB relations of db are read
 // but not modified.
 func (e *Evaluator) Eval(db *Database) error {
+	return e.evalPreds(db, nil)
+}
+
+// evalPreds evaluates the IDB predicates for which include returns true (a
+// nil include evaluates all), level by level.
+func (e *Evaluator) evalPreds(db *Database, include map[datalog.PredSym]bool) error {
+	if e.parallelism > 1 {
+		return e.evalParallel(db, include)
+	}
 	for _, sym := range e.order {
-		out := value.NewRelation(e.arities[sym])
-		for _, cr := range e.rules[sym] {
-			if err := cr.run(db, func(t value.Tuple) bool {
-				out.Add(t)
-				return true
-			}); err != nil {
-				return err
-			}
+		if include != nil && !include[sym] {
+			continue
 		}
-		// Update, not Set: keep any join indexes on the IDB predicate alive,
-		// rebuilt from the fresh relation, instead of dropping them to be
-		// lazily reconstructed on the next evaluation.
-		db.Update(sym, out)
+		if err := e.evalPredSequential(db, sym); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// EvalQuery evaluates the program and returns the relation for goal.
+// evalPredSequential evaluates one IDB predicate's rules on the calling
+// goroutine and installs the result — the unit both the sequential
+// evaluator and the parallel scheduler's small-level fallback run, so the
+// two paths cannot drift apart.
+func (e *Evaluator) evalPredSequential(db *Database, sym datalog.PredSym) error {
+	out := value.NewRelation(e.arities[sym])
+	for _, cr := range e.rules[sym] {
+		if err := cr.run(db, func(t value.Tuple) bool {
+			out.Add(t)
+			return true
+		}); err != nil {
+			return err
+		}
+	}
+	// Update, not Set: keep any join indexes on the IDB predicate alive,
+	// rebuilt from the fresh relation, instead of dropping them to be
+	// lazily reconstructed on the next evaluation.
+	db.Update(sym, out)
+	return nil
+}
+
+// cone returns the goal's dependency cone: the IDB predicates transitively
+// reachable from goal (including goal itself) through the rule bodies.
+func (e *Evaluator) cone(goal datalog.PredSym) map[datalog.PredSym]bool {
+	out := make(map[datalog.PredSym]bool)
+	if _, ok := e.arities[goal]; !ok {
+		return out
+	}
+	var visit func(sym datalog.PredSym)
+	visit = func(sym datalog.PredSym) {
+		if out[sym] {
+			return
+		}
+		out[sym] = true
+		for _, d := range e.deps[sym] {
+			visit(d)
+		}
+	}
+	visit(goal)
+	return out
+}
+
+// EvalQuery evaluates the goal's dependency cone — only the IDB predicates
+// the goal transitively reads, not the whole program — and returns the
+// relation for goal. IDB predicates outside the cone are left untouched in
+// db.
 func (e *Evaluator) EvalQuery(db *Database, goal datalog.PredSym) (*value.Relation, error) {
-	if err := e.Eval(db); err != nil {
+	if err := e.evalPreds(db, e.cone(goal)); err != nil {
 		return nil, err
 	}
 	if r := db.Rel(goal); r != nil {
@@ -151,17 +254,17 @@ type step struct {
 	bindRt bool // equality binds the right slot
 }
 
-// compiledRule is an executable plan for one rule. The plan owns its
-// runtime environment (variable bindings plus per-step scratch buffers),
-// allocated once at compile time and reused across runs — the Evaluator is
-// documented as not safe for concurrent use, and the engine serializes
-// evaluations under its write lock.
+// compiledRule is an executable plan for one rule. The plan owns a runtime
+// environment (variable bindings plus per-step scratch buffers) allocated
+// once at compile time and reused across sequential runs; parallel workers
+// get private environments from newEnv instead.
 type compiledRule struct {
 	rule  *datalog.Rule
 	nvars int
 	steps []step
 	head  []argSlot // nil for constraints
-	en    env
+	en    *env
+	rc    runCtx // reusable lazy-probe context for sequential runs
 }
 
 // varIndexer assigns dense indexes to variable names.
@@ -348,26 +451,7 @@ func compileRule(r *datalog.Rule) (*compiledRule, error) {
 		}
 	}
 	cr.nvars = len(vi.idx)
-	cr.en = env{
-		vals:    make([]value.Value, cr.nvars),
-		set:     make([]bool, cr.nvars),
-		scratch: make([]value.Tuple, len(cr.steps)),
-		newly:   make([][]int, len(cr.steps)),
-	}
-	for i := range cr.steps {
-		st := &cr.steps[i]
-		switch st.kind {
-		case stepNegAtom:
-			if st.fullKey {
-				cr.en.scratch[i] = make(value.Tuple, len(st.args))
-			} else {
-				cr.en.scratch[i] = make(value.Tuple, len(st.keyPos))
-			}
-		case stepScan:
-			cr.en.scratch[i] = make(value.Tuple, len(st.keyPos))
-			cr.en.newly[i] = make([]int, 0, len(st.args))
-		}
-	}
+	cr.en = cr.newEnv()
 	return cr, nil
 }
 
@@ -375,12 +459,46 @@ func compileRule(r *datalog.Rule) (*compiledRule, error) {
 
 // env is the runtime variable binding state, plus per-step scratch: probe
 // keys (or full negation tuples) and newly-bound variable lists, reused
-// across probes instead of allocated per tuple.
+// across probes instead of allocated per tuple. A parallel worker's env also
+// carries its shard assignment for the rule's partitioned outer scan.
 type env struct {
 	vals    []value.Value
 	set     []bool
 	scratch []value.Tuple
 	newly   [][]int
+	// shard assignment: at step shardStep the scan iterates only the
+	// tuples of hash shard shard/nshards. shardStep < 0 disables sharding.
+	shardStep int
+	shard     int
+	nshards   int
+}
+
+// newEnv allocates a fresh runtime environment for the rule: the compiled
+// plan itself is immutable at run time, so one plan can drive many envs
+// concurrently (one per parallel worker).
+func (cr *compiledRule) newEnv() *env {
+	en := &env{
+		vals:      make([]value.Value, cr.nvars),
+		set:       make([]bool, cr.nvars),
+		scratch:   make([]value.Tuple, len(cr.steps)),
+		newly:     make([][]int, len(cr.steps)),
+		shardStep: -1,
+	}
+	for i := range cr.steps {
+		st := &cr.steps[i]
+		switch st.kind {
+		case stepNegAtom:
+			if st.fullKey {
+				en.scratch[i] = make(value.Tuple, len(st.args))
+			} else {
+				en.scratch[i] = make(value.Tuple, len(st.keyPos))
+			}
+		case stepScan:
+			en.scratch[i] = make(value.Tuple, len(st.keyPos))
+			en.newly[i] = make([]int, 0, len(st.args))
+		}
+	}
+	return en
 }
 
 func (e *env) get(s argSlot) value.Value {
@@ -390,21 +508,102 @@ func (e *env) get(s argSlot) value.Value {
 	return s.c
 }
 
+// runCtx resolves a plan's relation reads and index probes. In lazy mode
+// (rels == nil) it goes through the Database, building indexes on demand —
+// the sequential path. In prepared mode every step's relation and index was
+// resolved up front by prepare, making execution a pure read over the
+// database: that is the read-only evaluation snapshot parallel workers run
+// against.
+type runCtx struct {
+	db   *Database
+	rels []*value.Relation // per step; nil slice = lazy mode
+	ixs  []*hashIndex      // per step; non-nil exactly for keyed steps in prepared mode
+}
+
+// relAt returns the relation read by step i.
+func (rc *runCtx) relAt(i int, p datalog.PredSym) *value.Relation {
+	if rc.rels != nil {
+		return rc.rels[i]
+	}
+	return rc.db.Rel(p)
+}
+
+// lookupAt probes the index of keyed step i.
+func (rc *runCtx) lookupAt(i int, st *step, key value.Tuple) []value.Tuple {
+	if rc.ixs != nil {
+		return rc.ixs[i].lookup(key)
+	}
+	return rc.db.Lookup(st.pred, st.keyPos, key)
+}
+
+// prepare resolves every relation and index the plan may touch, mutating the
+// database (index construction) on the calling goroutine so that the
+// returned context — shared read-only by the rule's workers — needs no
+// synchronization. Eagerly resolving a keyed step's index matches what the
+// lazy path's first probe would build.
+func (cr *compiledRule) prepare(db *Database) *runCtx {
+	rc := &runCtx{
+		db:   db,
+		rels: make([]*value.Relation, len(cr.steps)),
+		ixs:  make([]*hashIndex, len(cr.steps)),
+	}
+	for i := range cr.steps {
+		st := &cr.steps[i]
+		switch st.kind {
+		case stepScan:
+			rc.rels[i] = db.Rel(st.pred)
+			if len(st.keyPos) > 0 {
+				rc.ixs[i] = db.Index(st.pred, st.keyPos)
+			}
+		case stepNegAtom:
+			rc.rels[i] = db.Rel(st.pred)
+			if !st.fullKey {
+				rc.ixs[i] = db.Index(st.pred, st.keyPos)
+			}
+		}
+	}
+	return rc
+}
+
+// shardPlan decides how the rule's outer scan is partitioned across p
+// workers: the first scan step, when it is a full scan over a relation large
+// enough to amortize per-worker environments. Rules driven by keyed probes
+// or small relations (delta-driven incremental rules in particular) run as
+// a single task.
+func (cr *compiledRule) shardPlan(rc *runCtx, p int) (shardStep, nshards int) {
+	for i := range cr.steps {
+		st := &cr.steps[i]
+		if st.kind != stepScan {
+			continue
+		}
+		if len(st.keyPos) != 0 {
+			return -1, 1
+		}
+		rel := rc.rels[i]
+		if rel == nil || rel.Len() < shardMinTuples {
+			return -1, 1
+		}
+		return i, p
+	}
+	return -1, 1
+}
+
 // run executes the plan over db, calling emit for every derived head tuple.
 // emit returning false stops the evaluation early.
 func (cr *compiledRule) run(db *Database, emit func(value.Tuple) bool) error {
-	en := &cr.en
+	en := cr.en
 	// exec unsets every binding on the way out, but re-zero defensively so
 	// one run can never leak bindings into the next.
 	for i := range en.set {
 		en.set[i] = false
 	}
-	_, err := cr.exec(db, en, 0, emit)
+	cr.rc.db = db
+	_, err := cr.exec(&cr.rc, en, 0, emit)
 	return err
 }
 
 // exec runs steps[i:]; it returns false to request early termination.
-func (cr *compiledRule) exec(db *Database, en *env, i int, emit func(value.Tuple) bool) (bool, error) {
+func (cr *compiledRule) exec(rc *runCtx, en *env, i int, emit func(value.Tuple) bool) (bool, error) {
 	if i == len(cr.steps) {
 		if cr.head == nil {
 			return emit(nil), nil
@@ -422,13 +621,13 @@ func (cr *compiledRule) exec(db *Database, en *env, i int, emit func(value.Tuple
 		case st.bindLt:
 			en.vals[st.left.v] = en.get(st.right)
 			en.set[st.left.v] = true
-			cont, err := cr.exec(db, en, i+1, emit)
+			cont, err := cr.exec(rc, en, i+1, emit)
 			en.set[st.left.v] = false
 			return cont, err
 		case st.bindRt:
 			en.vals[st.right.v] = en.get(st.left)
 			en.set[st.right.v] = true
-			cont, err := cr.exec(db, en, i+1, emit)
+			cont, err := cr.exec(rc, en, i+1, emit)
 			en.set[st.right.v] = false
 			return cont, err
 		default:
@@ -439,13 +638,13 @@ func (cr *compiledRule) exec(db *Database, en *env, i int, emit func(value.Tuple
 			if !ok {
 				return true, nil
 			}
-			return cr.exec(db, en, i+1, emit)
+			return cr.exec(rc, en, i+1, emit)
 		}
 
 	case stepNegAtom:
-		rel := db.Rel(st.pred)
+		rel := rc.relAt(i, st.pred)
 		if rel == nil {
-			return cr.exec(db, en, i+1, emit)
+			return cr.exec(rc, en, i+1, emit)
 		}
 		if st.fullKey {
 			t := en.scratch[i]
@@ -455,19 +654,19 @@ func (cr *compiledRule) exec(db *Database, en *env, i int, emit func(value.Tuple
 			if rel.Contains(t) {
 				return true, nil
 			}
-			return cr.exec(db, en, i+1, emit)
+			return cr.exec(rc, en, i+1, emit)
 		}
 		key := en.scratch[i]
 		for j, p := range st.keyPos {
 			key[j] = en.get(st.args[p])
 		}
-		if len(db.Lookup(st.pred, st.keyPos, key)) > 0 {
+		if len(rc.lookupAt(i, st, key)) > 0 {
 			return true, nil
 		}
-		return cr.exec(db, en, i+1, emit)
+		return cr.exec(rc, en, i+1, emit)
 
 	default: // stepScan
-		rel := db.Rel(st.pred)
+		rel := rc.relAt(i, st.pred)
 		if rel == nil {
 			return true, nil
 		}
@@ -499,7 +698,7 @@ func (cr *compiledRule) exec(db *Database, en *env, i int, emit func(value.Tuple
 			var cont = true
 			var err error
 			if ok {
-				cont, err = cr.exec(db, en, i+1, emit)
+				cont, err = cr.exec(rc, en, i+1, emit)
 			}
 			for _, v := range newly {
 				en.set[v] = false
@@ -510,17 +709,22 @@ func (cr *compiledRule) exec(db *Database, en *env, i int, emit func(value.Tuple
 		if len(st.keyPos) == 0 {
 			var cont = true
 			var err error
-			rel.EachUntil(func(t value.Tuple) bool {
+			iter := func(t value.Tuple) bool {
 				cont, err = tryTuple(t)
 				return err == nil && cont
-			})
+			}
+			if en.shardStep == i {
+				rel.EachShardUntil(en.nshards, en.shard, iter)
+			} else {
+				rel.EachUntil(iter)
+			}
 			return cont, err
 		}
 		key := en.scratch[i]
 		for j, p := range st.keyPos {
 			key[j] = en.get(st.args[p])
 		}
-		for _, t := range db.Lookup(st.pred, st.keyPos, key) {
+		for _, t := range rc.lookupAt(i, st, key) {
 			cont, err := tryTuple(t)
 			if err != nil || !cont {
 				return cont, err

@@ -1,0 +1,181 @@
+// Parallel evaluation: the IDB dependency DAG is leveled topologically and
+// the predicates of one level are evaluated concurrently; within a rule, the
+// outermost full scan fans out across hash shards of its relation (reusing
+// the relation's bucket layout — no data movement). Workers run over a
+// read-only prepared context (relations and indexes resolved serially up
+// front) and emit into private partial relations, merged in a fixed order
+// after the level barrier. Relations are sets, shards partition tuples by
+// hash, and the merge order is deterministic, so parallel evaluation
+// produces relations set-identical (Relation.Equal, same lookup-observable
+// index contents) to sequential evaluation — the property the differential
+// and determinism tests in parallel_test.go pin down. Internal bucket and
+// slice ordering, which no evaluator API exposes as meaningful, may differ.
+package eval
+
+import (
+	"sync"
+
+	"birds/internal/datalog"
+	"birds/internal/value"
+)
+
+// The parallel thresholds are variables only so tests can force the
+// parallel machinery onto tiny relations; production code treats them as
+// constants.
+var (
+	// shardMinTuples is the smallest outer-scan relation worth splitting
+	// across workers: below this, per-worker environments and partial
+	// relations cost more than the scan.
+	shardMinTuples = 1024
+
+	// parallelMinWork is the smallest total outer-scan size for which a
+	// level leaves the sequential path at all. Delta-driven incremental
+	// evaluations (a handful of tuples per relation) stay on the exact
+	// allocation profile the sequential evaluator has.
+	parallelMinWork = 2048
+)
+
+// parallelTask is one unit of work: one rule, one shard of its outer scan,
+// emitting into a private partial relation.
+type parallelTask struct {
+	cr        *compiledRule
+	rc        *runCtx
+	out       *value.Relation
+	shardStep int
+	shard     int
+	nshards   int
+}
+
+// outerWeight estimates a rule's evaluation work as the size of its outer
+// full scan (the relation the plan iterates before any probes); keyed-probe
+// and empty outer scans count as 1.
+func (cr *compiledRule) outerWeight(db *Database) int {
+	for i := range cr.steps {
+		st := &cr.steps[i]
+		if st.kind != stepScan {
+			continue
+		}
+		if len(st.keyPos) != 0 {
+			return 1
+		}
+		if rel := db.Rel(st.pred); rel != nil {
+			return rel.Len()
+		}
+		return 1
+	}
+	return 1
+}
+
+// evalParallel evaluates the (included) IDB predicates level by level with
+// up to e.parallelism workers per level.
+func (e *Evaluator) evalParallel(db *Database, include map[datalog.PredSym]bool) error {
+	p := e.parallelism
+	for _, level := range e.levels {
+		syms := level
+		if include != nil {
+			syms = syms[:0:0]
+			for _, sym := range level {
+				if include[sym] {
+					syms = append(syms, sym)
+				}
+			}
+		}
+		if len(syms) == 0 {
+			continue
+		}
+
+		// A level whose rules only touch a few tuples is cheaper on the
+		// sequential path (no goroutines, no partial relations, reused
+		// rule environments).
+		weight := 0
+		for _, sym := range syms {
+			for _, cr := range e.rules[sym] {
+				weight += cr.outerWeight(db)
+			}
+		}
+		if weight < parallelMinWork {
+			for _, sym := range syms {
+				if err := e.evalPredSequential(db, sym); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+
+		// Serial prepare: resolve every relation and index the level's
+		// rules touch, so the parallel phase is a pure read of db.
+		var tasks []parallelTask
+		partials := make([][]*value.Relation, len(syms))
+		for si, sym := range syms {
+			arity := e.arities[sym]
+			for _, cr := range e.rules[sym] {
+				rc := cr.prepare(db)
+				shardStep, nshards := cr.shardPlan(rc, p)
+				for s := 0; s < nshards; s++ {
+					partial := value.NewRelation(arity)
+					partials[si] = append(partials[si], partial)
+					tasks = append(tasks, parallelTask{
+						cr: cr, rc: rc, out: partial,
+						shardStep: shardStep, shard: s, nshards: nshards,
+					})
+				}
+			}
+		}
+
+		// Parallel phase: every task runs the full plan with a private
+		// environment; the sharded task's outer scan iterates only its
+		// hash shard. Nothing mutates db until the barrier below.
+		errs := make([]error, len(tasks))
+		sem := make(chan struct{}, p)
+		var wg sync.WaitGroup
+		for ti := range tasks {
+			wg.Add(1)
+			go func(ti int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				t := &tasks[ti]
+				en := t.cr.newEnv()
+				en.shardStep, en.shard, en.nshards = t.shardStep, t.shard, t.nshards
+				_, errs[ti] = t.cr.exec(t.rc, en, 0, func(tu value.Tuple) bool {
+					t.out.Add(tu)
+					return true
+				})
+			}(ti)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+
+		// Barrier merge, lock-free: workers are done, partials are merged
+		// on this goroutine. Set-semantic union makes the merged content
+		// independent of the merge order; the base is the largest partial
+		// (a deterministic choice — shard contents are deterministic) so
+		// the bulk of the tuples is adopted instead of re-inserted, and a
+		// single-task predicate adopts its partial outright.
+		for si, sym := range syms {
+			parts := partials[si]
+			if len(parts) == 0 { // unreachable: every IDB predicate has a rule
+				db.Update(sym, value.NewRelation(e.arities[sym]))
+				continue
+			}
+			base := 0
+			for i := 1; i < len(parts); i++ {
+				if parts[i].Len() > parts[base].Len() {
+					base = i
+				}
+			}
+			out := parts[base]
+			for i, partial := range parts {
+				if i != base {
+					out.UnionWith(partial)
+				}
+			}
+			db.Update(sym, out)
+		}
+	}
+	return nil
+}

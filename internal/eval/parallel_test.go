@@ -1,0 +1,462 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"birds/internal/datalog"
+	"birds/internal/value"
+)
+
+// This file is the trust harness for the parallel evaluator: differential
+// fuzzing against the sequential evaluator and the naive reference
+// (reference_test.go), and determinism checks across worker counts and
+// repeated runs — the failure modes parallel evaluators are notorious for
+// (merge-order leaks, shard-boundary drops, racy index probes). Run with
+// -race: the prepared read-only probe discipline is part of what is tested.
+
+// forceParallelPath drops the size thresholds so even tiny relations go
+// through prepare/shard/merge, restoring them when the test ends.
+func forceParallelPath(t *testing.T) {
+	t.Helper()
+	oldShard, oldWork := shardMinTuples, parallelMinWork
+	shardMinTuples, parallelMinWork = 1, 1
+	t.Cleanup(func() { shardMinTuples, parallelMinWork = oldShard, oldWork })
+}
+
+// assertSameIDB fails unless a and b hold identical relations for every IDB
+// predicate of prog.
+func assertSameIDB(t *testing.T, prog *datalog.Program, a, b *Database, label string) {
+	t.Helper()
+	for sym := range prog.IDBPreds() {
+		ra, rb := a.Rel(sym), b.Rel(sym)
+		if (ra == nil) != (rb == nil) || (ra != nil && !ra.Equal(rb)) {
+			t.Fatalf("%s: relation %s differs\na=%v\nb=%v", label, sym, ra, rb)
+		}
+	}
+}
+
+// --- random program generation -----------------------------------------
+
+// genCtx carries the state of one random program build.
+type genCtx struct {
+	rng   *rand.Rand
+	preds []genPred // sources then generated IDB predicates
+}
+
+type genPred struct {
+	name  string
+	arity int
+}
+
+var genVarPool = []string{"X", "Y", "Z", "W"}
+
+func (g *genCtx) constant() string { return fmt.Sprint(g.rng.Intn(4)) }
+
+// genRule emits one safe rule text for head. Safety is by construction:
+// every head, negation, and comparison variable is bound by a positive atom
+// or a positive equality with a constant.
+func (g *genCtx) genRule(head genPred, avail []genPred) string {
+	bound := []string{}
+	isBound := func(v string) bool {
+		for _, b := range bound {
+			if b == v {
+				return true
+			}
+		}
+		return false
+	}
+	var body []string
+
+	// 1-2 positive atoms over the available predicates.
+	for n := 1 + g.rng.Intn(2); n > 0; n-- {
+		p := avail[g.rng.Intn(len(avail))]
+		args := make([]string, p.arity)
+		for i := range args {
+			if g.rng.Intn(10) < 7 {
+				v := genVarPool[g.rng.Intn(len(genVarPool))]
+				args[i] = v
+				if !isBound(v) {
+					bound = append(bound, v)
+				}
+			} else {
+				args[i] = g.constant()
+			}
+		}
+		body = append(body, p.name+"("+strings.Join(args, ",")+")")
+	}
+
+	// Maybe an equality binding a fresh variable to a constant.
+	if g.rng.Intn(10) < 3 {
+		for _, v := range genVarPool {
+			if !isBound(v) {
+				body = append(body, v+" = "+g.constant())
+				bound = append(bound, v)
+				break
+			}
+		}
+	}
+	// boundOrConst picks a bound variable, falling back to a constant for
+	// the (all-constant-atoms) case where nothing is bound.
+	boundOrConst := func() string {
+		if len(bound) == 0 {
+			return g.constant()
+		}
+		return bound[g.rng.Intn(len(bound))]
+	}
+	// Maybe a comparison over a bound variable.
+	if len(bound) > 0 && g.rng.Intn(10) < 4 {
+		ops := []string{"<", "<=", ">", ">=", "<>"}
+		v := bound[g.rng.Intn(len(bound))]
+		body = append(body, v+" "+ops[g.rng.Intn(len(ops))]+" "+g.constant())
+	}
+	// Maybe a negated atom (vars bound, anonymous columns allowed).
+	if g.rng.Intn(10) < 4 {
+		p := avail[g.rng.Intn(len(avail))]
+		args := make([]string, p.arity)
+		for i := range args {
+			switch r := g.rng.Intn(10); {
+			case r < 6:
+				args[i] = boundOrConst()
+			case r < 8:
+				args[i] = g.constant()
+			default:
+				args[i] = "_"
+			}
+		}
+		body = append(body, "not "+p.name+"("+strings.Join(args, ",")+")")
+	}
+
+	headArgs := make([]string, head.arity)
+	for i := range headArgs {
+		if g.rng.Intn(4) < 3 {
+			headArgs[i] = boundOrConst()
+		} else {
+			headArgs[i] = g.constant()
+		}
+	}
+	return head.name + "(" + strings.Join(headArgs, ",") + ") :- " + strings.Join(body, ", ") + "."
+}
+
+// genProgram builds a random well-formed nonrecursive program: three int
+// sources of arity 1-3 and a layered chain of IDB predicates whose rules
+// only reference sources and earlier layers.
+func genProgram(rng *rand.Rand) string {
+	g := &genCtx{rng: rng, preds: []genPred{{"r0", 1}, {"r1", 2}, {"r2", 3}}}
+	var b strings.Builder
+	b.WriteString("source r0(a:int).\nsource r1(a:int, b:int).\nsource r2(a:int, b:int, c:int).\nview v(a:int).\n")
+	nIDB := 2 + rng.Intn(4)
+	for i := 0; i < nIDB; i++ {
+		head := genPred{name: fmt.Sprintf("p%d", i), arity: 1 + rng.Intn(3)}
+		avail := append([]genPred(nil), g.preds...)
+		for n := 1 + rng.Intn(2); n > 0; n-- {
+			b.WriteString(g.genRule(head, avail) + "\n")
+		}
+		g.preds = append(g.preds, head)
+	}
+	return b.String()
+}
+
+// genEDB populates the three sources with random small relations.
+func genEDB(rng *rand.Rand) *Database {
+	db := NewDatabase()
+	for _, s := range []genPred{{"r0", 1}, {"r1", 2}, {"r2", 3}} {
+		rel := value.NewRelation(s.arity)
+		for i := 0; i < rng.Intn(6); i++ {
+			tu := make(value.Tuple, s.arity)
+			for j := range tu {
+				tu[j] = value.Int(int64(rng.Intn(4)))
+			}
+			rel.Add(tu)
+		}
+		db.Set(datalog.Pred(s.name), rel)
+	}
+	return db
+}
+
+// TestParallelFuzzDifferential generates random well-formed nonrecursive
+// programs and random EDBs and asserts that parallel evaluation (with the
+// parallel machinery forced on), sequential evaluation, and the naive
+// reference evaluator all agree.
+func TestParallelFuzzDifferential(t *testing.T) {
+	forceParallelPath(t)
+	rng := rand.New(rand.NewSource(1234))
+	const programs, trials = 25, 4
+	for pi := 0; pi < programs; pi++ {
+		src := genProgram(rng)
+		prog := mustProg(t, src)
+		seqEv, err := New(prog)
+		if err != nil {
+			t.Fatalf("program %d does not compile (generator bug):\n%s\n%v", pi, src, err)
+		}
+		parEv, err := New(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parEv.SetParallelism(4)
+		for trial := 0; trial < trials; trial++ {
+			db := genEDB(rng)
+			want := refEval(t, prog, db)
+			seq := db.Clone()
+			if err := seqEv.Eval(seq); err != nil {
+				t.Fatalf("program %d trial %d: sequential: %v\n%s", pi, trial, err, src)
+			}
+			par := db.Clone()
+			if err := parEv.Eval(par); err != nil {
+				t.Fatalf("program %d trial %d: parallel: %v\n%s", pi, trial, err, src)
+			}
+			for sym := range prog.IDBPreds() {
+				w, s, p := want.Rel(sym), seq.Rel(sym), par.Rel(sym)
+				if (s == nil) != (w == nil) || (s != nil && !s.Equal(w)) {
+					t.Fatalf("program %d trial %d: sequential %s differs from reference\nseq=%v\nref=%v\nprogram:\n%s\nEDB:\n%s",
+						pi, trial, sym, s, w, src, db)
+				}
+				if (p == nil) != (w == nil) || (p != nil && !p.Equal(w)) {
+					t.Fatalf("program %d trial %d: parallel %s differs from reference\npar=%v\nref=%v\nprogram:\n%s\nEDB:\n%s",
+						pi, trial, sym, p, w, src, db)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequentialCorpus runs the hand-shaped reference corpus
+// through the forced parallel path as well.
+func TestParallelMatchesSequentialCorpus(t *testing.T) {
+	forceParallelPath(t)
+	rng := rand.New(rand.NewSource(7))
+	for pi, src := range referenceCorpus {
+		prog := mustProg(t, src)
+		seqEv, err := New(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parEv, err := New(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parEv.SetParallelism(3)
+		edb := map[string]int{}
+		for _, s := range prog.Sources {
+			edb[s.Name] = s.Arity()
+		}
+		edb[prog.View.Name] = prog.View.Arity()
+		for trial := 0; trial < 20; trial++ {
+			db := NewDatabase()
+			for name, arity := range edb {
+				rel := value.NewRelation(arity)
+				for i := 0; i < rng.Intn(6); i++ {
+					tu := make(value.Tuple, arity)
+					for j := range tu {
+						tu[j] = value.Int(int64(rng.Intn(4)))
+					}
+					rel.Add(tu)
+				}
+				db.Set(datalog.Pred(name), rel)
+			}
+			seq := db.Clone()
+			if err := seqEv.Eval(seq); err != nil {
+				t.Fatal(err)
+			}
+			par := db.Clone()
+			if err := parEv.Eval(par); err != nil {
+				t.Fatal(err)
+			}
+			assertSameIDB(t, prog, seq, par, fmt.Sprintf("corpus program %d trial %d", pi, trial))
+		}
+	}
+}
+
+// --- determinism ---------------------------------------------------------
+
+// bigJoinProgram exercises real sharding at the default thresholds: a
+// 6000-tuple outer scan, an indexed join, an anti-join, a comparison layer,
+// and a two-rule union merged from different shards.
+const bigJoinProgram = `
+source r(a:int, b:int).
+source s(b:int, c:int).
+view v(a:int).
+j(X,Z) :- r(X,Y), s(Y,Z).
+lone(X,Y) :- r(X,Y), not s(Y,_).
+top(X) :- j(X,Z), Z > 150.
+u(X) :- top(X).
+u(X) :- lone(X,Y), Y >= 300.
+`
+
+func bigJoinDB() *Database {
+	db := NewDatabase()
+	r := value.NewRelation(2)
+	for i := 0; i < 6000; i++ {
+		r.Add(value.Tuple{value.Int(int64(i)), value.Int(int64(i % 500))})
+	}
+	s := value.NewRelation(2)
+	for k := 0; k < 300; k++ {
+		s.Add(value.Tuple{value.Int(int64(k)), value.Int(int64(k * 3))})
+	}
+	db.Set(datalog.Pred("r"), r)
+	db.Set(datalog.Pred("s"), s)
+	return db
+}
+
+// fingerprint renders the evaluation-observable state: every IDB relation
+// (sorted) plus index state observed through point lookups on the join
+// result, with lookup results compared as sorted sets (bucket order within
+// an index is not part of the evaluator's contract).
+func fingerprint(t *testing.T, prog *datalog.Program, db *Database) string {
+	t.Helper()
+	var b strings.Builder
+	syms := make([]string, 0)
+	for sym := range prog.IDBPreds() {
+		syms = append(syms, sym.String())
+	}
+	sort.Strings(syms)
+	for _, name := range syms {
+		rel := db.Rel(datalog.Pred(name))
+		fmt.Fprintf(&b, "%s = %v\n", name, rel)
+	}
+	for probe := 0; probe < 50; probe++ {
+		key := value.Tuple{value.Int(int64(probe * 7 % 6000))}
+		hits := db.Lookup(datalog.Pred("j"), []int{0}, key)
+		lines := make([]string, len(hits))
+		for i, h := range hits {
+			lines[i] = h.String()
+		}
+		sort.Strings(lines)
+		fmt.Fprintf(&b, "lookup j(%v) = %s\n", key, strings.Join(lines, " "))
+	}
+	return b.String()
+}
+
+// TestParallelDeterminism runs the big-join workload repeatedly at
+// parallelism 1, 2 and 8 over the same database and requires every run to
+// produce identical relations and lookup-observable index contents —
+// the test that catches merge-order leaks.
+func TestParallelDeterminism(t *testing.T) {
+	prog := mustProg(t, bigJoinProgram)
+	db := bigJoinDB()
+	var want string
+	for _, p := range []int{1, 2, 8} {
+		ev, err := New(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.SetParallelism(p)
+		for run := 0; run < 3; run++ {
+			if err := ev.Eval(db); err != nil {
+				t.Fatal(err)
+			}
+			got := fingerprint(t, prog, db)
+			if want == "" {
+				want = got
+			} else if got != want {
+				t.Fatalf("parallelism %d run %d diverged:\n--- got ---\n%s\n--- want ---\n%s", p, run, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelLargeMatchesSequential checks the default-threshold sharded
+// path (no forcing) against sequential output on the large workload.
+func TestParallelLargeMatchesSequential(t *testing.T) {
+	prog := mustProg(t, bigJoinProgram)
+	seqEv, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parEv, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parEv.SetParallelism(DefaultParallelism())
+	seq, par := bigJoinDB(), bigJoinDB()
+	if err := seqEv.Eval(seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := parEv.Eval(par); err != nil {
+		t.Fatal(err)
+	}
+	assertSameIDB(t, prog, seq, par, "big join")
+	if j := par.Rel(datalog.Pred("j")); j == nil || j.Len() == 0 {
+		t.Fatal("join result unexpectedly empty; the workload is not exercising the shards")
+	}
+}
+
+// --- EvalQuery dependency cone ------------------------------------------
+
+// TestEvalQueryCone verifies that EvalQuery evaluates only the goal's
+// dependency cone and leaves unrelated IDB predicates untouched.
+func TestEvalQueryCone(t *testing.T) {
+	prog := mustProg(t, `
+source r(a:int).
+source s(a:int).
+view v(a:int).
+a(X) :- r(X).
+b(X) :- a(X), s(X).
+unrelated(X) :- s(X), not r(X).
+`)
+	ev, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	db.Set(datalog.Pred("r"), value.RelationOf(1, value.Tuple{value.Int(1)}, value.Tuple{value.Int(2)}))
+	db.Set(datalog.Pred("s"), value.RelationOf(1, value.Tuple{value.Int(2)}, value.Tuple{value.Int(3)}))
+
+	// Plant a stale relation for the unrelated predicate: a full Eval would
+	// replace it; a cone-restricted EvalQuery must not.
+	stale := value.RelationOf(1, value.Tuple{value.Int(99)})
+	db.Set(datalog.Pred("unrelated"), stale)
+
+	got, err := ev.EvalQuery(db, datalog.Pred("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := value.RelationOf(1, value.Tuple{value.Int(2)})
+	if !got.Equal(want) {
+		t.Fatalf("b = %v, want %v", got, want)
+	}
+	if a := db.Rel(datalog.Pred("a")); a == nil || a.Len() != 2 {
+		t.Fatalf("cone predicate a should be evaluated, got %v", a)
+	}
+	if u := db.Rel(datalog.Pred("unrelated")); u != stale {
+		t.Fatalf("unrelated predicate was touched: %v", u)
+	}
+	if !db.Rel(datalog.Pred("unrelated")).Contains(value.Tuple{value.Int(99)}) {
+		t.Fatal("stale contents of unrelated predicate were replaced")
+	}
+
+	// A full Eval still recomputes everything.
+	if err := ev.Eval(db); err != nil {
+		t.Fatal(err)
+	}
+	wantU := value.RelationOf(1, value.Tuple{value.Int(3)})
+	if u := db.Rel(datalog.Pred("unrelated")); !u.Equal(wantU) {
+		t.Fatalf("after full Eval, unrelated = %v, want %v", u, wantU)
+	}
+}
+
+// TestEvalQueryUnknownGoal keeps the pre-cone behavior for a goal with no
+// rules: an empty relation, no error.
+func TestEvalQueryUnknownGoal(t *testing.T) {
+	prog := mustProg(t, `
+source r(a:int).
+view v(a:int).
+a(X) :- r(X).
+`)
+	ev, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	db.Set(datalog.Pred("r"), value.RelationOf(1, value.Tuple{value.Int(1)}))
+	got, err := ev.EvalQuery(db, datalog.Pred("nosuch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Empty() {
+		t.Fatalf("unknown goal should yield an empty relation, got %v", got)
+	}
+}

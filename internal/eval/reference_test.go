@@ -203,6 +203,7 @@ a4(X) :- a3(X), X < 3, X >= 0, X <> 1.
 }
 
 func TestCompiledEvaluatorMatchesReference(t *testing.T) {
+	forceParallelPath(t) // the parallel evaluator must agree even on tiny EDBs
 	rng := rand.New(rand.NewSource(99))
 	for pi, src := range referenceCorpus {
 		prog := mustProg(t, src)
@@ -210,6 +211,11 @@ func TestCompiledEvaluatorMatchesReference(t *testing.T) {
 		if err != nil {
 			t.Fatalf("program %d: %v", pi, err)
 		}
+		evPar, err := New(prog)
+		if err != nil {
+			t.Fatalf("program %d: %v", pi, err)
+		}
+		evPar.SetParallelism(4)
 		// Determine EDB relations and arities from declarations and use.
 		edb := map[string]int{}
 		for _, s := range prog.Sources {
@@ -235,12 +241,21 @@ func TestCompiledEvaluatorMatchesReference(t *testing.T) {
 			if err := ev.Eval(got); err != nil {
 				t.Fatal(err)
 			}
+			gotPar := db.Clone()
+			if err := evPar.Eval(gotPar); err != nil {
+				t.Fatal(err)
+			}
 			for sym := range prog.IDBPreds() {
 				a := got.Rel(sym)
 				b := want.Rel(sym)
 				if (a == nil) != (b == nil) || (a != nil && !a.Equal(b)) {
 					t.Fatalf("program %d trial %d: %s differs\ncompiled=%v\nreference=%v\ninput:\n%s",
 						pi, trial, sym, a, b, db)
+				}
+				p := gotPar.Rel(sym)
+				if (p == nil) != (b == nil) || (p != nil && !p.Equal(b)) {
+					t.Fatalf("program %d trial %d: parallel %s differs\nparallel=%v\nreference=%v\ninput:\n%s",
+						pi, trial, sym, p, b, db)
 				}
 			}
 		}

@@ -1,0 +1,193 @@
+// Parallel witness search. The guided and randomized searches split their
+// budgets into index-ordered tasks executed by a small worker pool; each
+// worker owns an independent Test instance built by Problem.TestFactory.
+// Determinism: every task's outcome is a pure function of the Config, a
+// task may be abandoned only when a lower-indexed task has already found a
+// witness, and the lowest-indexed witness is the one returned — so the
+// result does not depend on goroutine scheduling.
+package sat
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"birds/internal/eval"
+	"birds/internal/fol"
+	"birds/internal/value"
+)
+
+// foundMin tracks the lowest task index that produced a witness.
+type foundMin struct {
+	v atomic.Int64
+}
+
+func newFoundMin() *foundMin {
+	m := &foundMin{}
+	m.v.Store(int64(^uint64(0) >> 1)) // no witness yet
+	return m
+}
+
+func (m *foundMin) lower(i int64) {
+	for {
+		cur := m.v.Load()
+		if i >= cur || m.v.CompareAndSwap(cur, i) {
+			return
+		}
+	}
+}
+
+func (m *foundMin) below(i int64) bool { return m.v.Load() < i }
+
+// runTasks executes n independent search tasks on at most `workers`
+// goroutines and returns the witness of the lowest-indexed successful task.
+// Each worker builds one Test instance from the problem's factory and
+// reuses it across the tasks it claims.
+func runTasks(p Problem, n, workers int,
+	run func(i int, s *search) *eval.Database) *eval.Database {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]*eval.Database, n)
+	min := newFoundMin()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			test := p.TestFactory()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if min.below(int64(i)) {
+					continue // a lower-indexed task already found a witness
+				}
+				s := &search{rels: p.Rels, test: test,
+					cancel: func() bool { return min.below(int64(i)) }}
+				if db := run(i, s); db != nil {
+					results[i] = db
+					min.lower(int64(i))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, db := range results {
+		if db != nil {
+			return db
+		}
+	}
+	return nil
+}
+
+// guidedParallel is the guided search fanned out over (disjunct, first
+// variable value) tasks, each with an equal share of the guide budget.
+func (o *Oracle) guidedParallel(p Problem, pl *pools, workers int) *eval.Database {
+	specByName := make(map[string]RelSpec, len(p.Rels))
+	for _, r := range p.Rels {
+		specByName[r.Name] = r
+	}
+
+	// One task per (disjunct, value of the first variable); a ground
+	// disjunct is a single task.
+	type guidedTask struct {
+		plan     *disjunctPlan
+		firstVal int // index into plan.varPool[plan.vars[0]], or -1
+	}
+	var tasks []guidedTask
+	for _, dj := range fol.DisjunctiveForm(p.Guide) {
+		plan, ok := planDisjunct(dj, specByName, pl)
+		if !ok {
+			continue
+		}
+		pp := &plan
+		if len(plan.vars) == 0 {
+			tasks = append(tasks, guidedTask{plan: pp, firstVal: -1})
+			continue
+		}
+		for vi := range plan.varPool[plan.vars[0]] {
+			tasks = append(tasks, guidedTask{plan: pp, firstVal: vi})
+		}
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+	// Split the guide budget exactly: task i gets perTask assignments plus
+	// one of the remainder, so the total tested assignments never exceed
+	// GuideBudget (tasks whose share rounds to zero are skipped).
+	perTask := o.cfg.GuideBudget / len(tasks)
+	extra := o.cfg.GuideBudget % len(tasks)
+
+	return runTasks(p, len(tasks), workers, func(i int, s *search) *eval.Database {
+		t := tasks[i]
+		budget := perTask
+		if i < extra {
+			budget++
+		}
+		if budget == 0 {
+			return nil
+		}
+		env := make(map[string]value.Value, len(t.plan.vars))
+		if t.firstVal < 0 {
+			return o.assignDFS(s, t.plan, env, 0, &budget)
+		}
+		v := t.plan.vars[0]
+		env[v] = t.plan.varPool[v][t.firstVal]
+		if !cmpsConsistent(t.plan.cmps, env) {
+			return nil
+		}
+		return o.assignDFS(s, t.plan, env, 1, &budget)
+	})
+}
+
+// randomParallel splits the random trials into per-worker chunks with
+// independently seeded (but deterministic) PRNG streams.
+func (o *Oracle) randomParallel(p Problem, pl *pools, workers int) *eval.Database {
+	// A few chunks per worker smooths imbalance from early-found witnesses.
+	chunks := workers * 4
+	if chunks > o.cfg.RandomTrials {
+		chunks = o.cfg.RandomTrials
+	}
+	if chunks == 0 {
+		return nil
+	}
+	// Distribute the trials exactly: chunk ci runs perChunk trials plus one
+	// of the remainder, totalling RandomTrials.
+	perChunk := o.cfg.RandomTrials / chunks
+	extra := o.cfg.RandomTrials % chunks
+
+	return runTasks(p, chunks, workers, func(ci int, s *search) *eval.Database {
+		trials := perChunk
+		if ci < extra {
+			trials++
+		}
+		rng := rand.New(rand.NewSource(o.cfg.Seed + int64(ci+1)*0x5e3779b97f4a7c15))
+		for trial := 0; trial < trials; trial++ {
+			if s.cancelled() {
+				return nil
+			}
+			db := emptyInstance(p.Rels)
+			for _, r := range p.Rels {
+				n := rng.Intn(o.cfg.MaxTuples + 1)
+				for k := 0; k < n; k++ {
+					t := make(value.Tuple, r.Arity())
+					for j, ty := range r.Types {
+						pool := pl.forType(ty)
+						t[j] = pool[rng.Intn(len(pool))]
+					}
+					db.Insert(predSym(r.Name), t)
+				}
+			}
+			if s.test(db) {
+				return db
+			}
+		}
+		return nil
+	})
+}

@@ -60,6 +60,20 @@ type Config struct {
 	ExhaustiveBudget int   // max instances enumerated exhaustively
 	GuideBudget      int   // max variable assignments tried in guided search
 	Seed             int64 // PRNG seed (deterministic by default)
+	// Parallelism is the number of worker goroutines the guided and random
+	// searches may use; values <= 1 search sequentially. Parallel search
+	// requires Problem.TestFactory (the Test closures of Algorithm 1 carry
+	// per-evaluator scratch state and are not goroutine-safe). Outcomes are
+	// deterministic for a fixed Config: the search space is split into
+	// index-ordered tasks and the lowest-indexed witness wins regardless of
+	// scheduling. The partition changes coverage, not just witness identity:
+	// each task explores its region under an equal share of the budget
+	// (total budget is never exceeded), so when the budget is the binding
+	// constraint a witness found at one Parallelism setting may be missed at
+	// another — the same caveat that already applies to changing the budget
+	// itself. A reported witness is always Test-verified regardless, so
+	// "unsatisfiable within bounds" remains the only soundness caveat.
+	Parallelism int
 }
 
 // DefaultConfig returns the bounds used by the validator.
@@ -82,6 +96,11 @@ type Problem struct {
 	// relations (e.g. by running an evaluator) but must not change the
 	// EDB relations named in Rels.
 	Test func(db *eval.Database) bool
+	// TestFactory, when set, builds an independent Test instance (with its
+	// own compiled evaluators) for one search worker. It enables parallel
+	// search under Config.Parallelism > 1; without it the oracle searches
+	// sequentially with Test.
+	TestFactory func() func(db *eval.Database) bool
 }
 
 // Oracle runs witness searches under a fixed configuration.
@@ -96,13 +115,24 @@ func New(cfg Config) *Oracle { return &Oracle{cfg: cfg} }
 // within the budget.
 func (o *Oracle) Find(p Problem) *eval.Database {
 	pools := buildPools(p.ExtraConsts)
+	workers := o.cfg.Parallelism
+	if p.TestFactory == nil {
+		workers = 1
+	}
 	if p.Guide != nil {
-		if db := o.guided(p, pools); db != nil {
+		if workers > 1 {
+			if db := o.guidedParallel(p, pools, workers); db != nil {
+				return db
+			}
+		} else if db := o.guided(p, pools); db != nil {
 			return db
 		}
 	}
 	if db := o.exhaustive(p, pools); db != nil {
 		return db
+	}
+	if workers > 1 {
+		return o.randomParallel(p, pools, workers)
 	}
 	return o.random(p, pools)
 }
@@ -237,6 +267,72 @@ func (p *pools) all() []value.Value {
 
 // --- guided search ------------------------------------------------------
 
+// disjunctPlan is one guide disjunct prepared for enumeration: its positive
+// atoms and comparisons, with every variable assigned a typed candidate
+// pool.
+type disjunctPlan struct {
+	atoms   []*fol.Atom
+	cmps    []*fol.Cmp
+	vars    []string
+	varPool map[string][]value.Value
+}
+
+// planDisjunct prepares one disjunct; ok is false when the disjunct cannot
+// seed a model (it mentions a computed relation).
+func planDisjunct(dj fol.Conjunct, specByName map[string]RelSpec, pl *pools) (plan disjunctPlan, ok bool) {
+	ok = true
+	for _, part := range dj.Parts {
+		switch g := part.(type) {
+		case *fol.Atom:
+			if _, known := specByName[g.Pred]; !known {
+				ok = false // atom over a computed relation: cannot seed
+			}
+			plan.atoms = append(plan.atoms, g)
+		case *fol.Cmp:
+			plan.cmps = append(plan.cmps, g)
+		}
+	}
+	if !ok {
+		return plan, false
+	}
+	// Collect variables with a type-derived pool.
+	plan.varPool = make(map[string][]value.Value)
+	addVar := func(name string, pool []value.Value) {
+		if _, seen := plan.varPool[name]; !seen {
+			plan.varPool[name] = pool
+			plan.vars = append(plan.vars, name)
+		}
+	}
+	for _, a := range plan.atoms {
+		spec := specByName[a.Pred]
+		for i, t := range a.Args {
+			if t.IsVar() {
+				addVar(t.Var, pl.forType(spec.Types[i]))
+			}
+		}
+	}
+	for _, c := range plan.cmps {
+		for _, t := range []datalog.Term{c.L, c.R} {
+			if t.IsVar() {
+				addVar(t.Var, pl.all())
+			}
+		}
+	}
+	return plan, true
+}
+
+// search bundles the per-worker state of one witness search: the relation
+// specs, the Test instance to call, and an optional cancellation probe
+// (parallel workers abandon a task when a lower-indexed task has found a
+// witness, which cannot change the chosen result).
+type search struct {
+	rels   []RelSpec
+	test   func(db *eval.Database) bool
+	cancel func() bool
+}
+
+func (s *search) cancelled() bool { return s.cancel != nil && s.cancel() }
+
 // guided instantiates each disjunct of the guide sentence as a minimal
 // candidate model: exactly the positive atoms of the disjunct, with
 // variables enumerated over typed pools.
@@ -246,52 +342,15 @@ func (o *Oracle) guided(p Problem, pl *pools) *eval.Database {
 		specByName[r.Name] = r
 	}
 	budget := o.cfg.GuideBudget
+	s := &search{rels: p.Rels, test: p.Test}
 
 	for _, dj := range fol.DisjunctiveForm(p.Guide) {
-		var atoms []*fol.Atom
-		var cmps []*fol.Cmp
-		ok := true
-		for _, part := range dj.Parts {
-			switch g := part.(type) {
-			case *fol.Atom:
-				if _, known := specByName[g.Pred]; !known {
-					ok = false // atom over a computed relation: cannot seed
-				}
-				atoms = append(atoms, g)
-			case *fol.Cmp:
-				cmps = append(cmps, g)
-			}
-		}
+		plan, ok := planDisjunct(dj, specByName, pl)
 		if !ok {
 			continue
 		}
-		// Collect variables with a type-derived pool.
-		varPool := make(map[string][]value.Value)
-		var vars []string
-		addVar := func(name string, pool []value.Value) {
-			if _, seen := varPool[name]; !seen {
-				varPool[name] = pool
-				vars = append(vars, name)
-			}
-		}
-		for _, a := range atoms {
-			spec := specByName[a.Pred]
-			for i, t := range a.Args {
-				if t.IsVar() {
-					addVar(t.Var, pl.forType(spec.Types[i]))
-				}
-			}
-		}
-		for _, c := range cmps {
-			for _, t := range []datalog.Term{c.L, c.R} {
-				if t.IsVar() {
-					addVar(t.Var, pl.all())
-				}
-			}
-		}
-
-		env := make(map[string]value.Value, len(vars))
-		if db := o.assignDFS(p, dj, atoms, cmps, vars, varPool, env, 0, &budget); db != nil {
+		env := make(map[string]value.Value, len(plan.vars))
+		if db := o.assignDFS(s, &plan, env, 0, &budget); db != nil {
 			return db
 		}
 		if budget <= 0 {
@@ -301,17 +360,17 @@ func (o *Oracle) guided(p Problem, pl *pools) *eval.Database {
 	return nil
 }
 
-// assignDFS enumerates assignments for vars[i:], pruning on ground
+// assignDFS enumerates assignments for plan.vars[i:], pruning on ground
 // comparisons, and tests the minimal model of each full assignment.
-func (o *Oracle) assignDFS(p Problem, dj fol.Conjunct, atoms []*fol.Atom, cmps []*fol.Cmp,
-	vars []string, varPool map[string][]value.Value, env map[string]value.Value, i int, budget *int) *eval.Database {
-	if *budget <= 0 {
+func (o *Oracle) assignDFS(s *search, plan *disjunctPlan,
+	env map[string]value.Value, i int, budget *int) *eval.Database {
+	if *budget <= 0 || s.cancelled() {
 		return nil
 	}
-	if i == len(vars) {
+	if i == len(plan.vars) {
 		*budget--
-		db := emptyInstance(p.Rels)
-		for _, a := range atoms {
+		db := emptyInstance(s.rels)
+		for _, a := range plan.atoms {
 			t := make(value.Tuple, len(a.Args))
 			for j, arg := range a.Args {
 				if arg.IsConst() {
@@ -322,21 +381,21 @@ func (o *Oracle) assignDFS(p Problem, dj fol.Conjunct, atoms []*fol.Atom, cmps [
 			}
 			db.Insert(predSym(a.Pred), t)
 		}
-		if p.Test(db) {
+		if s.test(db) {
 			return db
 		}
 		return nil
 	}
-	v := vars[i]
-	for _, val := range varPool[v] {
+	v := plan.vars[i]
+	for _, val := range plan.varPool[v] {
 		env[v] = val
-		if !cmpsConsistent(cmps, env) {
+		if !cmpsConsistent(plan.cmps, env) {
 			continue
 		}
-		if db := o.assignDFS(p, dj, atoms, cmps, vars, varPool, env, i+1, budget); db != nil {
+		if db := o.assignDFS(s, plan, env, i+1, budget); db != nil {
 			return db
 		}
-		if *budget <= 0 {
+		if *budget <= 0 || s.cancelled() {
 			break
 		}
 	}

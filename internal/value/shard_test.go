@@ -1,0 +1,83 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func shardTestRelation(n int, rng *rand.Rand) *Relation {
+	r := NewRelation(2)
+	for i := 0; i < n; i++ {
+		r.Add(Tuple{Int(int64(rng.Intn(n))), Str("x")})
+	}
+	return r
+}
+
+// The shards of a relation must partition it: disjoint, covering, and with
+// equal tuples (same hash) always in the same shard.
+func TestEachShardPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, shards := range []int{1, 2, 3, 7, 16} {
+		r := shardTestRelation(500, rng)
+		seen := NewRelation(2)
+		total := 0
+		for s := 0; s < shards; s++ {
+			r.EachShard(shards, s, func(tu Tuple) {
+				total++
+				if !seen.Add(tu) {
+					t.Fatalf("shards=%d: tuple %v appeared in two shards (or twice)", shards, tu)
+				}
+			})
+		}
+		if total != r.Len() {
+			t.Fatalf("shards=%d: visited %d tuples, relation has %d", shards, total, r.Len())
+		}
+		if !seen.Equal(r) {
+			t.Fatalf("shards=%d: union of shards differs from relation", shards)
+		}
+	}
+}
+
+// A tuple's shard assignment is a pure function of its hash: re-adding the
+// same tuples into a fresh relation lands each in the same shard.
+func TestEachShardStableAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := shardTestRelation(300, rng)
+	const shards = 5
+	assign := func(rel *Relation) map[string]int {
+		out := make(map[string]int)
+		for s := 0; s < shards; s++ {
+			rel.EachShard(shards, s, func(tu Tuple) { out[tu.Key()] = s })
+		}
+		return out
+	}
+	a := assign(r)
+	b := assign(r.Clone())
+	for k, s := range a {
+		if b[k] != s {
+			t.Fatalf("tuple %s moved shards: %d vs %d", k, s, b[k])
+		}
+	}
+}
+
+func TestEachShardUntilStopsEarly(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	r := shardTestRelation(200, rng)
+	count := 0
+	done := r.EachShardUntil(1, 0, func(Tuple) bool {
+		count++
+		return count < 3
+	})
+	if done || count != 3 {
+		t.Fatalf("early stop failed: done=%v count=%d", done, count)
+	}
+	// Multi-shard early stop only terminates the probed shard.
+	count = 0
+	r.EachShardUntil(4, 2, func(Tuple) bool {
+		count++
+		return false
+	})
+	if count > 1 {
+		t.Fatalf("shard iteration continued after stop: %d", count)
+	}
+}
