@@ -152,6 +152,37 @@ func BenchmarkFig6(b *testing.B) {
 	}
 }
 
+// BenchmarkDMLMaintenance measures the engine's steady-state table-write
+// path with dependent views (a selection and a join) maintained by
+// counting IVM, sweeping the base size at a fixed per-transaction delta.
+// The expected curve is flat: growing the base 10× must not grow the
+// per-write cost materially (the acceptance bound is < 2×), because every
+// write propagates O(|Δ|) join work instead of rematerializing O(|DB|)
+// views. CI emits this benchmark as the BENCH_main.json artifact.
+func BenchmarkDMLMaintenance(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			db, err := bench.SetupDMLMaintenance(n, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := bench.DMLMaintenanceTxn(db, n, i+1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			for _, vn := range bench.DMLMaintenanceViews() {
+				if db.Stale(vn) {
+					b.Fatalf("view %s fell off the incremental path", vn)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationUnfolding compares ∂put evaluation with and without the
 // delta-rule unfolding optimization (Lemma 5.2 substitution alone leaves
 // intermediate relations like m(X,Y) :- r(X,Y), Y > 2 materialized over the

@@ -212,3 +212,47 @@ func TestFig6ViewByName(t *testing.T) {
 		t.Error("unknown view must fail")
 	}
 }
+
+// The DML-maintenance fixture must keep its views on the incremental path
+// (clean, no dirty fallback) and exactly consistent with a fresh database
+// replaying the same writes.
+func TestDMLMaintenanceFixture(t *testing.T) {
+	const n = 200
+	db, err := SetupDMLMaintenance(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 25; i++ {
+		if err := DMLMaintenanceTxn(db, n, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, vn := range DMLMaintenanceViews() {
+		if db.Stale(vn) {
+			t.Fatalf("view %s fell off the incremental path", vn)
+		}
+	}
+	// Replay on a fresh database: contents must agree view by view.
+	ref, err := SetupDMLMaintenance(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 25; i++ {
+		if err := DMLMaintenanceTxn(ref, n, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, vn := range DMLMaintenanceViews() {
+		got, err := db.Rel(vn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Rel(vn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s diverged from replay: %v vs %v", vn, got, want)
+		}
+	}
+}

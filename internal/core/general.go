@@ -329,12 +329,17 @@ func Binarize(prog *datalog.Program) (*datalog.Program, error) {
 // together with a driver that maintains the materialized intermediate
 // relations across updates.
 type GeneralIncremental struct {
-	prog     *datalog.Program
-	steps    []*binStep
-	defsEv   *eval.Evaluator // definitional program (materialization)
-	deltaEv  *eval.Evaluator // Figure 7 delta/ν program
-	interSym []datalog.PredSym
-	arities  map[datalog.PredSym]int
+	prog   *datalog.Program
+	steps  []*binStep
+	defsEv *eval.Evaluator // definitional program (materialization + counting IVM)
+	// deltaProg is the derived Figure 7 delta/ν program. It is compiled
+	// once as a well-formedness check and kept for inspection
+	// (DeltaProgram); the runtime mechanism behind the rewrite is the
+	// counting IVM of defsEv (see Init/Apply), so the delta program itself
+	// is never evaluated.
+	deltaProg *datalog.Program
+	interSym  []datalog.PredSym
+	arities   map[datalog.PredSym]int
 }
 
 // nuSym names the new-version relation of p; source relations are
@@ -424,16 +429,15 @@ func NewGeneralIncremental(prog *datalog.Program) (*GeneralIncremental, error) {
 		}
 		delta.Rules = append(delta.Rules, rs...)
 	}
-	deltaEv, err := eval.New(delta)
-	if err != nil {
+	if _, err := eval.New(delta); err != nil {
 		return nil, fmt.Errorf("core: derived delta program does not compile: %w\n%s", err, delta)
 	}
-	g.deltaEv = deltaEv
+	g.deltaProg = delta
 	return g, nil
 }
 
 // DeltaProgram returns the derived Figure 7 program (for inspection).
-func (g *GeneralIncremental) DeltaProgram() *datalog.Program { return g.deltaEv.Program() }
+func (g *GeneralIncremental) DeltaProgram() *datalog.Program { return g.deltaProg }
 
 // DefinitionProgram returns the binarized definitional program.
 func (g *GeneralIncremental) DefinitionProgram() *datalog.Program { return g.defsEv.Program() }
@@ -595,32 +599,62 @@ func (g *GeneralIncremental) figure7(s *binStep) ([]*datalog.Rule, error) {
 }
 
 // Init materializes the intermediate step relations over db (which must
-// hold the source relations and the current view).
+// hold the source relations and the current view), together with their
+// per-tuple support counts: the runtime mechanism behind the Figure 7
+// rewrite is the evaluator's counting IVM (eval.EvalDelta), which keeps
+// every binarized intermediate — and the final ±ri delta relations —
+// maintained under O(|Δ|) propagation instead of re-deriving the ν
+// versions from scratch on every update.
 func (g *GeneralIncremental) Init(db *eval.Database) error {
-	return g.defsEv.Eval(db)
+	g.defsEv.InvalidateIVM()
+	_, err := g.defsEv.EvalDelta(db, nil)
+	return err
 }
 
-// Apply performs one incremental update: given the view delta, it
-// evaluates the Figure 7 program, applies the derived source deltas
-// (Proposition 5.1: the insertion sets of the delta relations ARE the new
-// source deltas), advances the view, and swaps every materialized
-// intermediate to its new version.
+// Apply performs one incremental update. The view delta is applied to the
+// materialized view and propagated through the binarized rule DAG by
+// support-count maintenance, which leaves the ±ri delta relations holding
+// exactly putdelta(S, V ⊕ ΔV) (Proposition 5.1: the insertion sets of the
+// delta relations ARE the new source deltas). The source deltas are then
+// applied, and the resulting source changes are propagated the same way,
+// so every materialized intermediate ends at its post-update version —
+// consistent with a fresh Init over the new database — at O(|Δ|) cost.
 func (g *GeneralIncremental) Apply(db *eval.Database, insV, delV *value.Relation) error {
-	view := g.prog.View.Name
-	db.Set(datalog.Ins(view), insV)
-	db.Set(datalog.Del(view), delV)
-	if err := g.deltaEv.Eval(db); err != nil {
+	view := datalog.Pred(g.prog.View.Name)
+	arity := g.prog.View.Arity()
+	db.Ensure(view, arity)
+	// Advance the view in place, recording its exact net delta — a tuple
+	// deleted and re-inserted nets out, preserving Delta's disjointness
+	// invariant even for overlapping insV/delV inputs.
+	vd := eval.NewDelta(arity)
+	if delV != nil {
+		delV.Each(func(t value.Tuple) {
+			if db.Delete(view, t) {
+				vd.Del.Add(t)
+			}
+		})
+	}
+	if insV != nil {
+		insV.Each(func(t value.Tuple) {
+			if db.Insert(view, t) {
+				if !vd.Del.Remove(t) {
+					vd.Ins.Add(t)
+				}
+			}
+		})
+	}
+	if _, err := g.defsEv.EvalDelta(db, map[datalog.PredSym]eval.Delta{view: vd}); err != nil {
 		return err
 	}
-	if _, _, err := eval.ApplyDeltas(db, g.prog.Sources); err != nil {
+	// ±ri now hold the derived source deltas; apply them and propagate the
+	// source changes so the intermediates advance to the post-update state.
+	srcDeltas, err := eval.ApplyDeltasExact(db, g.prog.Sources)
+	if err != nil {
 		return err
 	}
-	// Advance the view and the intermediates to their new versions.
-	db.Set(datalog.Pred(view), db.RelOrEmpty(g.nuSym(datalog.Pred(view)), g.prog.View.Arity()).Clone())
-	for _, p := range g.interSym {
-		db.Set(p, db.RelOrEmpty(g.nuSym(p), g.arities[p]).Clone())
+	if len(srcDeltas) == 0 {
+		return nil
 	}
-	db.Set(datalog.Ins(view), value.NewRelation(g.prog.View.Arity()))
-	db.Set(datalog.Del(view), value.NewRelation(g.prog.View.Arity()))
-	return nil
+	_, err = g.defsEv.EvalDelta(db, srcDeltas)
+	return err
 }

@@ -96,49 +96,74 @@ func (db *DB) Exec(stmts ...Statement) error {
 
 // --- statements against base tables -------------------------------------
 
+// execTable applies the statements to a base table, accumulating the
+// transaction's exact net row delta — an insert cancelling an earlier
+// delete (and vice versa) nets out, and no-op statements contribute
+// nothing — and feeds it into the incremental maintenance of the dependent
+// views. A transaction with a net-empty delta leaves every view untouched.
+// A statement error rolls the already-applied part of the delta back, so a
+// failed transaction leaves the store (and every maintained view) exactly
+// as it was — the atomicity Exec promises.
 func (db *DB) execTable(name string, stmts []Statement) error {
 	decl := db.tables[name]
 	p := datalog.Pred(name)
-	changedAny := false
+	d := eval.NewDelta(decl.Arity())
+	insert := func(r value.Tuple) {
+		if db.store.Insert(p, r) {
+			if !d.Del.Remove(r) {
+				d.Ins.Add(r)
+			}
+		}
+	}
+	remove := func(r value.Tuple) {
+		if db.store.Delete(p, r) {
+			if !d.Ins.Remove(r) {
+				d.Del.Add(r)
+			}
+		}
+	}
+	rollback := func() {
+		d.Ins.Each(func(r value.Tuple) { db.store.Delete(p, r) })
+		d.Del.Each(func(r value.Tuple) { db.store.Insert(p, r) })
+	}
 	for _, s := range stmts {
 		switch s.Kind {
 		case StmtInsert:
 			if len(s.Row) != decl.Arity() {
+				rollback()
 				return fmt.Errorf("engine: INSERT arity mismatch on %q", name)
 			}
-			if db.store.Insert(p, s.Row) {
-				changedAny = true
-			}
+			insert(s.Row)
 		case StmtDelete:
 			rows, err := db.matchRows(name, decl, s.Where)
 			if err != nil {
+				rollback()
 				return err
 			}
 			for _, r := range rows {
-				if db.store.Delete(p, r) {
-					changedAny = true
-				}
+				remove(r)
 			}
 		case StmtUpdate:
 			rows, err := db.matchRows(name, decl, s.Where)
 			if err != nil {
+				rollback()
 				return err
 			}
 			updated, err := applyAssignments(decl, rows, s.Set)
 			if err != nil {
+				rollback()
 				return err
 			}
 			for _, r := range rows {
-				db.store.Delete(p, r)
+				remove(r)
 			}
 			for _, r := range updated {
-				db.store.Insert(p, r)
+				insert(r)
 			}
-			changedAny = changedAny || len(rows) > 0
 		}
 	}
-	if changedAny {
-		db.markDependentsDirty(map[string]bool{name: true}, nil)
+	if !d.Empty() {
+		db.maintainViews(map[string]eval.Delta{name: d}, nil)
 	}
 	return nil
 }
@@ -313,6 +338,9 @@ func (db *DB) propagate(name string, ins, del *value.Relation, pl *plan) error {
 // deltas are collected. Cost is proportional to the view delta once the
 // store's indexes are warm.
 func (db *DB) evalIncremental(v *View, ins, del *value.Relation, deltas map[string][2]*value.Relation) error {
+	// The ∂put and constraint programs overwrite their IDB relations in the
+	// shared store; drop the get-side counts that described them.
+	db.invalidateForStrategyRun(v)
 	name := v.Decl.Name
 	// Update keeps any indexes on the view-delta predicates alive across
 	// transactions instead of dropping and lazily rebuilding them.
@@ -347,6 +375,9 @@ func (db *DB) evalIncremental(v *View, ins, del *value.Relation, deltas map[stri
 // evaluated (cost proportional to the base tables), and the source deltas
 // are collected.
 func (db *DB) evalFull(name string, v *View, ins, del *value.Relation, deltas map[string][2]*value.Relation) error {
+	// The strategy evaluation overwrites its IDB relations in the shared
+	// store; drop the get-side counts that described them.
+	db.invalidateForStrategyRun(v)
 	p := datalog.Pred(name)
 	old := db.store.RelOrEmpty(p, v.Decl.Arity())
 	updated := old.Clone()
@@ -383,8 +414,11 @@ func collectDeltas(store *eval.Database, v *View, deltas map[string][2]*value.Re
 }
 
 // applyPlan validates the accumulated plan (no relation may both insert and
-// delete the same tuple) and applies it to the store, maintaining indexes
-// and marking untouched dependent views stale.
+// delete the same tuple) and applies it to the store, maintaining indexes.
+// The exact net delta of every applied relation — only rows whose
+// membership actually changed — then drives the incremental maintenance of
+// the dependent views outside the plan; views inside the plan were updated
+// exactly and stay clean.
 func (db *DB) applyPlan(pl *plan) error {
 	names := make([]string, 0, len(pl.ins))
 	for n := range pl.ins {
@@ -397,18 +431,29 @@ func (db *DB) applyPlan(pl *plan) error {
 				n, common.Tuples()[0])
 		}
 	}
-	changed := make(map[string]bool)
+	changed := make(map[string]eval.Delta, len(names))
 	keep := make(map[string]bool)
 	for _, n := range names {
 		p := datalog.Pred(n)
-		pl.del[n].Each(func(t value.Tuple) { db.store.Delete(p, t) })
-		pl.ins[n].Each(func(t value.Tuple) { db.store.Insert(p, t) })
-		changed[n] = true
+		d := eval.NewDelta(pl.ins[n].Arity())
+		pl.del[n].Each(func(t value.Tuple) {
+			if db.store.Delete(p, t) {
+				d.Del.Add(t)
+			}
+		})
+		pl.ins[n].Each(func(t value.Tuple) {
+			if db.store.Insert(p, t) {
+				d.Ins.Add(t)
+			}
+		})
+		if !d.Empty() {
+			changed[n] = d
+		}
 		if _, isView := db.views[n]; isView {
 			keep[n] = true // maintained exactly by the plan
 		}
 	}
-	db.markDependentsDirty(changed, keep)
+	db.maintainViews(changed, keep)
 	return nil
 }
 

@@ -35,6 +35,7 @@ type DB struct {
 	tables      map[string]*datalog.RelDecl
 	views       map[string]*View
 	dirty       map[string]bool // views whose materialization is stale
+	viewOrder   []string        // views in dependency order (sources first); rebuilt on CreateView
 	parallelism int             // evaluator workers for views (0 = sequential)
 }
 
@@ -50,6 +51,24 @@ type View struct {
 	incEval  *eval.Evaluator // ∂put (nil unless Incremental)
 	consEval *eval.Evaluator // delta-substituted constraints (nil unless Incremental)
 	sources  []string        // source relation names (tables or views)
+
+	// getIDB holds the IDB predicates of the get program — the relations
+	// (view plus auxiliaries) the counting IVM of getEval materializes and
+	// maintains. allIDB additionally covers the strategy, ∂put and
+	// constraint programs, whose evaluation overwrites those relations in
+	// the shared store; both sets drive the cross-view IVM invalidation in
+	// maintain.go.
+	getIDB map[datalog.PredSym]bool
+	allIDB map[datalog.PredSym]bool
+	// Precomputed at registration (the sets above are fixed then):
+	// getOverlap lists the other views whose get programs share a
+	// predicate with this view's get program (mutual — maintaining or
+	// refreshing one clobbers the other's counted relations); allOverlap
+	// lists the views whose get programs share a predicate with ANY of
+	// this view's programs (running this view's putback machinery clobbers
+	// their counted relations).
+	getOverlap []*View
+	allOverlap []*View
 }
 
 // NewDB returns an empty database.
@@ -207,6 +226,18 @@ func (db *DB) CreateViewFromProgram(prog *datalog.Program, opts ViewOptions) (*V
 		}
 	}
 
+	v.getIDB = make(map[datalog.PredSym]bool)
+	idbPredsOf(v.getEval.Program(), v.getIDB)
+	v.allIDB = make(map[datalog.PredSym]bool)
+	idbPredsOf(v.getEval.Program(), v.allIDB)
+	idbPredsOf(v.Strategy.Prog, v.allIDB)
+	if v.incEval != nil {
+		idbPredsOf(v.incEval.Program(), v.allIDB)
+	}
+	if v.consEval != nil {
+		idbPredsOf(v.consEval.Program(), v.allIDB)
+	}
+
 	par := opts.Parallelism
 	switch {
 	case par == 0:
@@ -218,12 +249,22 @@ func (db *DB) CreateViewFromProgram(prog *datalog.Program, opts ViewOptions) (*V
 		v.setParallelism(par)
 	}
 
+	// The initial materialization below may overwrite auxiliary relations
+	// an existing view's get program also materializes; those views' counts
+	// must not survive it. The new view's own overlap lists are built only
+	// after its refresh succeeds (registerMaintenance), so sweep directly.
+	for _, w := range db.views {
+		if predsIntersect(w.getIDB, v.getIDB) {
+			w.getEval.InvalidateIVM()
+		}
+	}
 	db.views[name] = v
 	db.dirty[name] = true
 	if err := db.refresh(name); err != nil {
 		delete(db.views, name)
 		return nil, err
 	}
+	db.registerMaintenance(v)
 	return v, nil
 }
 
@@ -303,25 +344,51 @@ func (db *DB) View(name string) *View {
 	return db.views[name]
 }
 
+// Stale reports whether a view's materialization is currently stale — the
+// fallback state in which the next read fully recomputes it. Steady-state
+// DML keeps views clean (maintained incrementally in place); bulk loads
+// and maintenance failures mark them stale. Tables are never stale.
+func (db *DB) Stale(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.dirty[name]
+}
+
 // Rel returns the current contents of a table or view (recomputing a stale
 // view first). The returned relation must not be mutated, and it is live:
 // a later transaction on the same relation updates it in place, so
 // iterating it concurrently with writes to that relation is a data race.
-// Callers that read while other goroutines may write should use Snapshot.
+// Callers that read while other goroutines may write should use Get, which
+// returns an immutable O(1) copy-on-write snapshot instead.
 //
 // Tables and clean views are served under the read lock, so concurrent
 // readers do not serialize. A stale view re-acquires the write lock
 // (rematerialization mutates the store) and rechecks, since another
 // transaction may have intervened.
 func (db *DB) Rel(name string) (*value.Relation, error) {
+	return db.read(name, false)
+}
+
+// read is the shared protocol behind Rel and Get: serve tables and clean
+// views under the read lock; upgrade to the write lock (and recheck —
+// another transaction may have intervened) to refresh a stale view. With
+// snap the relation is wrapped in a copy-on-write snapshot before the lock
+// is released, so no writer can slip in between resolution and snapshot.
+func (db *DB) read(name string, snap bool) (*value.Relation, error) {
+	out := func(r *value.Relation) *value.Relation {
+		if snap {
+			return r.Snapshot()
+		}
+		return r
+	}
 	db.mu.RLock()
 	if d, ok := db.tables[name]; ok {
-		r := db.store.RelOrEmpty(datalog.Pred(name), d.Arity())
+		r := out(db.store.RelOrEmpty(datalog.Pred(name), d.Arity()))
 		db.mu.RUnlock()
 		return r, nil
 	}
 	if v, ok := db.views[name]; ok && !db.dirty[name] {
-		r := db.store.RelOrEmpty(datalog.Pred(name), v.Decl.Arity())
+		r := out(db.store.RelOrEmpty(datalog.Pred(name), v.Decl.Arity()))
 		db.mu.RUnlock()
 		return r, nil
 	}
@@ -330,7 +397,7 @@ func (db *DB) Rel(name string) (*value.Relation, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if d, ok := db.tables[name]; ok {
-		return db.store.RelOrEmpty(datalog.Pred(name), d.Arity()), nil
+		return out(db.store.RelOrEmpty(datalog.Pred(name), d.Arity())), nil
 	}
 	v, ok := db.views[name]
 	if !ok {
@@ -341,26 +408,39 @@ func (db *DB) Rel(name string) (*value.Relation, error) {
 			return nil, err
 		}
 	}
-	return db.store.RelOrEmpty(datalog.Pred(name), v.Decl.Arity()), nil
+	return out(db.store.RelOrEmpty(datalog.Pred(name), v.Decl.Arity())), nil
 }
 
-// Snapshot returns an independent copy of the current contents of a table
-// or view, safe to iterate while later transactions run. It costs O(n) in
-// the relation size; prefer Rel when no concurrent writer can touch the
-// relation.
+// Get returns an immutable snapshot of the current contents of a table or
+// view (recomputing a stale view first). Taking the snapshot is O(1) — it
+// shares the relation's storage copy-on-write, so no tuples are copied on
+// the read path — and the snapshot keeps observing exactly the state at
+// the time of the call: later transactions quietly divert the live
+// relation onto private storage before mutating it. Snapshots are safe to
+// iterate concurrently with writers; do not mutate them.
+//
+// Tables and clean views are served under the read lock, so concurrent
+// readers do not serialize. A stale view re-acquires the write lock
+// (rematerialization mutates the store) and rechecks, since another
+// transaction may have intervened.
+func (db *DB) Get(name string) (*value.Relation, error) {
+	return db.read(name, true)
+}
+
+// Snapshot returns an immutable snapshot of the current contents of a
+// table or view, safe to iterate while later transactions run. It is Get
+// under its historical name: since snapshots went copy-on-write it no
+// longer copies the relation, so there is no reason to prefer Rel for
+// read-heavy workloads.
 func (db *DB) Snapshot(name string) (*value.Relation, error) {
-	rel, err := db.Rel(name)
-	if err != nil {
-		return nil, err
-	}
-	// Clone under the read lock so a writer cannot mutate the buckets
-	// mid-copy.
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return rel.Clone(), nil
+	return db.Get(name)
 }
 
-// refresh rematerializes a view (and, first, its stale sources).
+// refresh fully rematerializes a view (and, first, its stale sources) —
+// the fallback path for views whose incremental maintenance state is
+// unavailable (bulk loads, maintenance errors, stale sources). Steady-state
+// DML never comes through here: maintainViews adjusts clean views in place
+// and leaves the dirty flag unset.
 func (db *DB) refresh(name string) error {
 	v := db.views[name]
 	for _, s := range v.sources {
@@ -380,6 +460,13 @@ func (db *DB) refresh(name string) error {
 	// synthesized an empty relation.
 	if p := datalog.Pred(name); db.store.Rel(p) != rel {
 		db.store.Update(p, rel)
+	}
+	// The full evaluation above replaced this view's get-program relations
+	// in the shared store; any other view materializing a same-named
+	// auxiliary must not trust its counts anymore. (EvalQuery already
+	// dropped v's own counts.)
+	for _, w := range v.getOverlap {
+		w.getEval.InvalidateIVM()
 	}
 	db.dirty[name] = false
 	return nil
@@ -417,11 +504,15 @@ func (db *DB) LoadTable(name string, rows []value.Tuple) error {
 	if !ok {
 		return fmt.Errorf("engine: unknown table %q", name)
 	}
-	p := datalog.Pred(name)
+	// Validate every row before inserting any: a mid-load failure must not
+	// leave rows in the store that dependent views were never told about.
 	for _, r := range rows {
 		if len(r) != decl.Arity() {
 			return fmt.Errorf("engine: row arity %d does not match table %q arity %d", len(r), name, decl.Arity())
 		}
+	}
+	p := datalog.Pred(name)
+	for _, r := range rows {
 		db.store.Insert(p, r)
 	}
 	changed := map[string]bool{name: true}

@@ -121,3 +121,67 @@ view v(a:int, b:int).
 		t.Errorf("steady-state ApplyDeltas allocates %v objects per run, budget %d", allocs, budget)
 	}
 }
+
+// The counted-probe hot path of the IVM state: adjusting the support of a
+// warm tuple (bucket probe + in-place count update) allocates nothing, in
+// both directions.
+func TestAllocsCountedAdjust(t *testing.T) {
+	c := value.NewCounted(2)
+	tu := value.Tuple{value.Int(7), value.Int(7)}
+	c.Adjust(tu, 2) // warm: entry exists from here on
+	if allocs := testing.AllocsPerRun(200, func() {
+		c.Adjust(tu, 1)
+		c.Adjust(tu, -1)
+	}); allocs != 0 {
+		t.Errorf("warm counted adjust allocates %v objects per run, want 0", allocs)
+	}
+}
+
+// A steady-state EvalDelta round — one-tuple delta against a large base —
+// stays within a fixed budget independent of the base size: the counted
+// probes, old-version reads and index maintenance are all O(|Δ|).
+func TestAllocsEvalDeltaSteadyState(t *testing.T) {
+	prog := mustProg(t, `
+source r(a:int, b:int).
+source s(b:int).
+view v(a:int).
+big(X,Y) :- r(X,Y), s(Y).
+neg(X) :- r(X,_), not s(X).
+`)
+	ev, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := allocGuardDB(50000)
+	srel := value.NewRelation(1)
+	for i := 0; i < 100; i++ {
+		srel.Add(value.Tuple{value.Int(int64(i))})
+	}
+	db.Set(datalog.Pred("s"), srel)
+	db.Set(datalog.Pred("v"), value.NewRelation(1))
+	if _, err := ev.EvalDelta(db, nil); err != nil { // init counts
+		t.Fatal(err)
+	}
+	p := datalog.Pred("r")
+	tu := value.Tuple{value.Int(900001), value.Int(5)}
+	d := NewDelta(2)
+	// A fixed budget: maps, per-predicate delta relations and the emitted
+	// head tuples — none of it scales with the 50k-tuple base.
+	const budget = 120
+	if allocs := testing.AllocsPerRun(100, func() {
+		d.Ins, d.Del = value.NewRelation(2), value.NewRelation(2)
+		db.Insert(p, tu)
+		d.Ins.Add(tu)
+		if _, err := ev.EvalDelta(db, map[datalog.PredSym]Delta{p: d}); err != nil {
+			t.Fatal(err)
+		}
+		db.Delete(p, tu)
+		d.Ins, d.Del = value.NewRelation(2), value.NewRelation(2)
+		d.Del.Add(tu)
+		if _, err := ev.EvalDelta(db, map[datalog.PredSym]Delta{p: d}); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > budget {
+		t.Errorf("steady-state EvalDelta allocates %v objects per run, budget %d", allocs, budget)
+	}
+}

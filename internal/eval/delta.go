@@ -78,6 +78,41 @@ func ApplyDeltas(db *Database, sources []*datalog.RelDecl) (deleted, inserted in
 	return deleted, inserted, nil
 }
 
+// ApplyDeltasExact is ApplyDeltas returning, instead of counts, the exact
+// net delta of every source whose contents changed — the shape the
+// counting-IVM propagation (EvalDelta) consumes. Tuples whose membership
+// did not change (inserting a present tuple, deleting an absent one) are
+// excluded.
+func ApplyDeltasExact(db *Database, sources []*datalog.RelDecl) (map[datalog.PredSym]Delta, error) {
+	if err := CheckNonContradictory(db, sources); err != nil {
+		return nil, err
+	}
+	out := make(map[datalog.PredSym]Delta, len(sources))
+	for _, s := range sources {
+		p := datalog.Pred(s.Name)
+		db.Ensure(p, s.Arity())
+		d := NewDelta(s.Arity())
+		if del := db.Rel(datalog.Del(s.Name)); del != nil {
+			del.Each(func(t value.Tuple) {
+				if db.Delete(p, t) {
+					d.Del.Add(t)
+				}
+			})
+		}
+		if ins := db.Rel(datalog.Ins(s.Name)); ins != nil {
+			ins.Each(func(t value.Tuple) {
+				if db.Insert(p, t) {
+					d.Ins.Add(t)
+				}
+			})
+		}
+		if !d.Empty() {
+			out[p] = d
+		}
+	}
+	return out, nil
+}
+
 // SnapshotSources returns deep copies of the source relations of db, for
 // comparing database states around an update (e.g. the GetPut check).
 func SnapshotSources(db *Database, sources []*datalog.RelDecl) map[string]*value.Relation {

@@ -25,6 +25,14 @@ type Evaluator struct {
 	constraints []*compiledRule
 	arities     map[datalog.PredSym]int
 	parallelism int
+
+	// Counting-based incremental view maintenance state (ivm.go): the
+	// per-IDB support counts EvalDelta keeps, and the compiled delta plans
+	// (one per rule and driver literal). deltaRules is built lazily on the
+	// first EvalDelta; ivm is dropped whenever a full evaluation replaces
+	// the IDB relations it describes.
+	deltaRules map[datalog.PredSym][]*deltaRule
+	ivm        *ivmState
 }
 
 // New stratifies and compiles the program. It fails on recursive or unsafe
@@ -128,6 +136,10 @@ func (e *Evaluator) Eval(db *Database) error {
 // evalPreds evaluates the IDB predicates for which include returns true (a
 // nil include evaluates all), level by level.
 func (e *Evaluator) evalPreds(db *Database, include map[datalog.PredSym]bool) error {
+	// A full evaluation replaces IDB relations wholesale, so any support
+	// counts kept by EvalDelta no longer describe the materialized state;
+	// the next EvalDelta re-initializes from scratch.
+	e.ivm = nil
 	if e.parallelism > 1 {
 		return e.evalParallel(db, include)
 	}
@@ -245,6 +257,7 @@ type step struct {
 	args    []argSlot
 	keyPos  []int // positions bound at entry (probe key); nil = full scan
 	fullKey bool  // negation with every position bound: direct Contains
+	old     bool  // delta plans only: read the pre-delta version of pred
 	// builtin:
 	neg    bool
 	op     datalog.CmpOp
@@ -297,16 +310,46 @@ func termSlot(vi *varIndexer, t datalog.Term) argSlot {
 func compileRule(r *datalog.Rule) (*compiledRule, error) {
 	vi := &varIndexer{idx: make(map[string]int)}
 	cr := &compiledRule{rule: r}
+	steps, err := compileBody(vi, make(map[string]bool), r.Body, nil, r)
+	if err != nil {
+		return nil, err
+	}
+	cr.steps = steps
 
+	if r.Head != nil {
+		for _, t := range r.Head.Args {
+			if t.IsAnon() {
+				return nil, fmt.Errorf("eval: rule %q: anonymous variable in head", r)
+			}
+			cr.head = append(cr.head, termSlot(vi, t))
+		}
+	}
+	cr.nvars = len(vi.idx)
+	cr.en = cr.newEnv()
+	return cr, nil
+}
+
+// compileBody greedily orders the literals so every step's inputs are bound
+// when it runs, and precomputes probe-key positions for hash lookups. bound
+// seeds the variables already bound on entry (empty for a full rule plan; a
+// delta plan seeds the variables its driver literal binds). oldOf, when
+// non-nil, marks per literal whether the step must read the pre-delta (old)
+// version of its relation — the annotation delta plans use to implement the
+// new/Δ/old join expansion; it is aligned with lits.
+func compileBody(vi *varIndexer, bound map[string]bool, lits []datalog.Literal, oldOf []bool, r *datalog.Rule) ([]step, error) {
+	var steps []step
 	type pending struct {
 		lit datalog.Literal
+		old bool
 	}
-	remaining := make([]pending, len(r.Body))
-	for i, l := range r.Body {
+	remaining := make([]pending, len(lits))
+	for i, l := range lits {
 		remaining[i] = pending{lit: l}
+		if oldOf != nil {
+			remaining[i].old = oldOf[i]
+		}
 	}
 
-	bound := make(map[string]bool)
 	allBound := func(vars []string) bool {
 		for _, v := range vars {
 			if !bound[v] {
@@ -371,7 +414,7 @@ func compileRule(r *datalog.Rule) (*compiledRule, error) {
 		if best < 0 {
 			return nil, fmt.Errorf("eval: rule %q is unsafe: no evaluable literal order", r)
 		}
-		l := remaining[best].lit
+		l, oldMode := remaining[best].lit, remaining[best].old
 		remaining = append(remaining[:best], remaining[best+1:]...)
 
 		switch {
@@ -392,9 +435,9 @@ func compileRule(r *datalog.Rule) (*compiledRule, error) {
 					bound[b.R.Var] = true
 				}
 			}
-			cr.steps = append(cr.steps, st)
+			steps = append(steps, st)
 		case l.Neg:
-			st := step{kind: stepNegAtom, pred: l.Atom.Pred}
+			st := step{kind: stepNegAtom, pred: l.Atom.Pred, old: oldMode}
 			full := true
 			for _, t := range l.Atom.Args {
 				st.args = append(st.args, termSlot(vi, t))
@@ -411,9 +454,9 @@ func compileRule(r *datalog.Rule) (*compiledRule, error) {
 					}
 				}
 			}
-			cr.steps = append(cr.steps, st)
+			steps = append(steps, st)
 		default:
-			st := step{kind: stepScan, pred: l.Atom.Pred}
+			st := step{kind: stepScan, pred: l.Atom.Pred, old: oldMode}
 			hasBoundVar := false
 			for i, t := range l.Atom.Args {
 				slot := termSlot(vi, t)
@@ -438,21 +481,10 @@ func compileRule(r *datalog.Rule) (*compiledRule, error) {
 					bound[t.Var] = true
 				}
 			}
-			cr.steps = append(cr.steps, st)
+			steps = append(steps, st)
 		}
 	}
-
-	if r.Head != nil {
-		for _, t := range r.Head.Args {
-			if t.IsAnon() {
-				return nil, fmt.Errorf("eval: rule %q: anonymous variable in head", r)
-			}
-			cr.head = append(cr.head, termSlot(vi, t))
-		}
-	}
-	cr.nvars = len(vi.idx)
-	cr.en = cr.newEnv()
-	return cr, nil
+	return steps, nil
 }
 
 // --- rule execution ---------------------------------------------------
@@ -477,15 +509,21 @@ type env struct {
 // plan itself is immutable at run time, so one plan can drive many envs
 // concurrently (one per parallel worker).
 func (cr *compiledRule) newEnv() *env {
+	return newEnvFor(cr.steps, cr.nvars)
+}
+
+// newEnvFor builds a runtime environment (bindings plus per-step scratch)
+// for any compiled step sequence — full rule plans and delta plans alike.
+func newEnvFor(steps []step, nvars int) *env {
 	en := &env{
-		vals:      make([]value.Value, cr.nvars),
-		set:       make([]bool, cr.nvars),
-		scratch:   make([]value.Tuple, len(cr.steps)),
-		newly:     make([][]int, len(cr.steps)),
+		vals:      make([]value.Value, nvars),
+		set:       make([]bool, nvars),
+		scratch:   make([]value.Tuple, len(steps)),
+		newly:     make([][]int, len(steps)),
 		shardStep: -1,
 	}
-	for i := range cr.steps {
-		st := &cr.steps[i]
+	for i := range steps {
+		st := &steps[i]
 		switch st.kind {
 		case stepNegAtom:
 			if st.fullKey {

@@ -1,0 +1,139 @@
+package value
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CountedRelation is a relation whose tuples carry a support count — the
+// number of derivations currently producing the tuple. It is the state a
+// counting-based incremental view maintenance pass keeps per IDB relation:
+// a tuple is logically present while its count is positive, appears when the
+// count crosses 0 → positive, and disappears when it returns to 0.
+//
+// The layout mirrors Relation: tuples bucket by the 64-bit Tuple.Hash and
+// collisions resolve with Tuple.Equal, so the probe of Adjust on a warm
+// tuple allocates nothing (the alloc guard in alloc_test.go pins this).
+// Like Relation, tuples are stored by reference and must be treated as
+// immutable once handed to Adjust.
+type CountedRelation struct {
+	arity   int
+	size    int // tuples with positive count
+	buckets map[uint64][]countedTuple
+}
+
+type countedTuple struct {
+	t Tuple
+	n int
+}
+
+// NewCounted returns an empty counted relation of the given arity.
+func NewCounted(arity int) *CountedRelation {
+	return &CountedRelation{arity: arity, buckets: make(map[uint64][]countedTuple)}
+}
+
+// Arity reports the arity of the relation.
+func (c *CountedRelation) Arity() int { return c.arity }
+
+// Len reports the number of tuples with positive support.
+func (c *CountedRelation) Len() int { return c.size }
+
+// Count returns the support count of t (0 if absent).
+func (c *CountedRelation) Count(t Tuple) int {
+	h := t.Hash()
+	for _, ct := range c.buckets[h] {
+		if ct.t.Equal(t) {
+			return ct.n
+		}
+	}
+	return 0
+}
+
+// Adjust adds d to the support count of t and reports the transition:
+// appeared is true when the count crossed from ≤0 to positive, vanished when
+// it crossed from positive to ≤0. A zero-count entry is removed. Counts never
+// go negative under correct delta propagation; Adjust tolerates it (the
+// tuple simply stays logically absent) so that a propagation bug surfaces as
+// a differential-test failure rather than a panic deep in the engine.
+func (c *CountedRelation) Adjust(t Tuple, d int) (appeared, vanished bool) {
+	if len(t) != c.arity {
+		panic("value: counted relation arity mismatch on Adjust")
+	}
+	if d == 0 {
+		return false, false
+	}
+	h := t.Hash()
+	bucket := c.buckets[h]
+	for i := range bucket {
+		ct := &bucket[i]
+		if !ct.t.Equal(t) {
+			continue
+		}
+		old := ct.n
+		ct.n += d
+		if ct.n == 0 {
+			if len(bucket) == 1 {
+				delete(c.buckets, h)
+			} else {
+				bucket[i] = bucket[len(bucket)-1]
+				c.buckets[h] = bucket[:len(bucket)-1]
+			}
+		}
+		appeared = old <= 0 && old+d > 0
+		vanished = old > 0 && old+d <= 0
+		if appeared {
+			c.size++
+		}
+		if vanished {
+			c.size--
+		}
+		return appeared, vanished
+	}
+	c.buckets[h] = append(bucket, countedTuple{t: t, n: d})
+	if d > 0 {
+		c.size++
+		return true, false
+	}
+	return false, false
+}
+
+// Each calls fn for every tuple with positive support, with its count; fn
+// must not mutate the relation.
+func (c *CountedRelation) Each(fn func(Tuple, int)) {
+	for _, bucket := range c.buckets {
+		for _, ct := range bucket {
+			if ct.n > 0 {
+				fn(ct.t, ct.n)
+			}
+		}
+	}
+}
+
+// Relation materializes the positive-support tuples as a plain Relation.
+func (c *CountedRelation) Relation() *Relation {
+	out := NewRelation(c.arity)
+	c.Each(func(t Tuple, _ int) { out.Add(t) })
+	return out
+}
+
+// String renders the counted relation deterministically, for debugging.
+func (c *CountedRelation) String() string {
+	type entry struct {
+		t Tuple
+		n int
+	}
+	var es []entry
+	c.Each(func(t Tuple, n int) { es = append(es, entry{t, n}) })
+	sort.Slice(es, func(i, j int) bool { return es[i].t.Compare(es[j].t) < 0 })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range es {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s×%d", e.t, e.n)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -3,6 +3,7 @@ package value
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Relation is a finite set of tuples of a fixed arity, with set semantics.
@@ -22,6 +23,13 @@ type Relation struct {
 	arity   int
 	size    int
 	buckets map[uint64][]Tuple
+	// shared marks the bucket storage as referenced by at least one
+	// Snapshot: the next mutation copies the buckets first (copy-on-write),
+	// so snapshot holders can keep reading the old storage. It is atomic
+	// because concurrent readers may take snapshots of one relation at the
+	// same time (the engine serves Get under a read lock); mutators run
+	// exclusively (write lock) and see the flag via lock ordering.
+	shared atomic.Bool
 }
 
 // NewRelation returns an empty relation of the given arity.
@@ -71,6 +79,37 @@ func (r *Relation) containsHashed(h uint64, t Tuple) bool {
 	return false
 }
 
+// Snapshot returns an immutable view of the relation in O(1): the snapshot
+// shares the bucket storage, and the next mutation of either side copies the
+// storage first (copy-on-write), so a snapshot keeps observing exactly the
+// state at the time it was taken. Taking a snapshot never copies tuples;
+// the deferred copy is paid at most once per snapshot by the first writer.
+// Concurrent Snapshot calls on one relation are safe; mutations must still
+// be externally serialized against each other, as for every other method.
+//
+// Callers must not mutate a snapshot (mutating methods would quietly COW
+// and diverge); treat it as read-only.
+func (r *Relation) Snapshot() *Relation {
+	r.shared.Store(true)
+	s := &Relation{arity: r.arity, size: r.size, buckets: r.buckets}
+	s.shared.Store(true)
+	return s
+}
+
+// ensureOwned gives r private bucket storage before a mutation when the
+// current storage is shared with snapshots.
+func (r *Relation) ensureOwned() {
+	if !r.shared.Load() {
+		return
+	}
+	nb := make(map[uint64][]Tuple, len(r.buckets))
+	for h, bucket := range r.buckets {
+		nb[h] = append([]Tuple(nil), bucket...)
+	}
+	r.buckets = nb
+	r.shared.Store(false)
+}
+
 // Add inserts t; it reports whether the relation changed. The relation
 // takes ownership of t (no defensive copy); t must not be mutated
 // afterwards. Add panics on an arity mismatch, which always indicates a
@@ -79,11 +118,13 @@ func (r *Relation) Add(t Tuple) bool {
 	if len(t) != r.arity {
 		panic("value: relation arity mismatch on Add")
 	}
+	r.ensureOwned()
 	return r.addHashed(t.Hash(), t)
 }
 
 // Remove deletes t; it reports whether the relation changed.
 func (r *Relation) Remove(t Tuple) bool {
+	r.ensureOwned()
 	h := t.Hash()
 	bucket := r.buckets[h]
 	for i, u := range bucket {
@@ -216,6 +257,7 @@ func (r *Relation) UnionWith(s *Relation) bool {
 	if r.arity != s.arity {
 		panic("value: relation arity mismatch on UnionWith")
 	}
+	r.ensureOwned()
 	changed := false
 	for h, bucket := range s.buckets {
 		for _, t := range bucket {
@@ -229,6 +271,7 @@ func (r *Relation) UnionWith(s *Relation) bool {
 
 // SubtractAll removes every tuple of s from r and reports whether r changed.
 func (r *Relation) SubtractAll(s *Relation) bool {
+	r.ensureOwned()
 	changed := false
 	for _, bucket := range s.buckets {
 		for _, t := range bucket {
