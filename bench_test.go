@@ -183,6 +183,54 @@ func BenchmarkDMLMaintenance(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchedDML measures the group-commit write pipeline: steady-
+// state write transactions (fixed two-tuple delta each) admitted through
+// an engine.Batcher, sweeping the batch size at a fixed base size. batch=1
+// flushes — and therefore runs one full view-maintenance pass — per write;
+// larger batches run ONE pass per batch. Two streams: "coalesce" is the
+// PR 3 DMLMaintenance stream, where transaction i's insert and i+1's
+// delete cancel in the staged buffer (the full group-commit effect —
+// coalescing plus pass amortization); "window" never cancels inside a
+// batch, isolating pure pass amortization. CI emits this benchmark as the
+// BENCH_batch.json artifact; the acceptance bound for this PR is
+// coalesce/batch=64 ≥ 3× cheaper per write than batch=1.
+func BenchmarkBatchedDML(b *testing.B) {
+	const n = 10000
+	streams := []struct {
+		name string
+		txn  func(*birds.Batcher, int, int) error
+	}{
+		{"coalesce", bench.BatchedDMLTxn},     // PR 3 stream: pairs cancel inside a batch
+		{"window", bench.BatchedDMLWindowTxn}, // non-cancelling: pure pass amortization
+	}
+	for _, stream := range streams {
+		for _, batch := range []int{1, 8, 64, 512} {
+			batch := batch
+			b.Run(fmt.Sprintf("stream=%s/batch=%d", stream.name, batch), func(b *testing.B) {
+				db, bt, err := bench.SetupBatchedDML(n, batch, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := stream.txn(bt, n, i+1); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := bt.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				for _, vn := range bench.DMLMaintenanceViews() {
+					if db.Stale(vn) {
+						b.Fatalf("view %s fell off the incremental path", vn)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationUnfolding compares ∂put evaluation with and without the
 // delta-rule unfolding optimization (Lemma 5.2 substitution alone leaves
 // intermediate relations like m(X,Y) :- r(X,Y), Y > 2 materialized over the

@@ -81,7 +81,17 @@ type (
 	Condition = engine.Condition
 	// Assignment is an UPDATE SET clause.
 	Assignment = engine.Assignment
+	// Batcher is the group-commit write pipeline handle (DB.Batch,
+	// DB.SetBatching): admitted transactions stage their coalesced net
+	// deltas and flush as one view-maintenance pass.
+	Batcher = engine.Batcher
+	// BatchOptions configures a Batcher's flush triggers.
+	BatchOptions = engine.BatchOptions
 )
+
+// DefaultBatchSize is the batch-size trigger used when
+// BatchOptions.MaxTxns is 0.
+const DefaultBatchSize = engine.DefaultBatchSize
 
 // Value constructors.
 var (

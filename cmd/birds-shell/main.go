@@ -11,11 +11,17 @@
 //	birds> \show r1
 //
 // Commands: \tables, \show REL, \sql VIEW, \explain VIEW, \csv TABLE FILE,
-// \view FILE [inc], \beginview/\endview [inc], \help, \quit.
+// \view FILE [inc], \beginview/\endview [inc], \flush, \help, \quit.
+//
+// With -batch-size and/or -flush-interval, table DML goes through the
+// group-commit write pipeline: transactions stage until the batch flushes
+// (size or interval trigger, \flush, or a view-targeted statement) and
+// then propagate into the materialized views as one maintenance pass.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -25,7 +31,18 @@ import (
 )
 
 func main() {
+	batchSize := flag.Int("batch-size", 0,
+		"group-commit batch size: flush after this many transactions (0 disables batching unless -flush-interval is set; with batching on, 0 means the default size)")
+	flushInterval := flag.Duration("flush-interval", 0,
+		"flush a non-empty batch this long after its first admission (0 disables the interval trigger)")
+	flag.Parse()
+
 	db := birds.NewDB()
+	if *batchSize != 0 || *flushInterval > 0 {
+		db.SetBatching(birds.BatchOptions{MaxTxns: *batchSize, FlushInterval: *flushInterval})
+		fmt.Printf("batching enabled (batch-size=%d, flush-interval=%s); \\flush forces a flush\n",
+			*batchSize, *flushInterval)
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Println("birds-shell — type \\help for commands")
@@ -103,7 +120,18 @@ commands:
   \tables            list relations
   \sql VIEW          print the compiled SQL program
   \explain VIEW      print the strategy's query plans
+  \flush             flush the pending group-commit batch (see -batch-size)
   \quit`)
+		return nil
+	case `\flush`:
+		if !db.Batching() {
+			fmt.Println("batching is not enabled (start the shell with -batch-size or -flush-interval)")
+			return nil
+		}
+		if err := db.Flush(); err != nil {
+			return err
+		}
+		fmt.Println("batch flushed")
 		return nil
 	case `\quit`, `\q`:
 		os.Exit(0)

@@ -1,0 +1,106 @@
+// Command dmlbench measures the engine's steady-state DML write path on
+// the DML-maintenance fixture (a 10k+ row base table with a selection view
+// and a join view maintained by counting IVM): per-write cost with and
+// without the group-commit write pipeline, sweeping the batch size.
+//
+//	$ go run ./cmd/dmlbench -n 10000 -writes 20000 -batch-sizes 1,8,64,512
+//	$ go run ./cmd/dmlbench -batch-size 64 -flush-interval 5ms -stream window
+//
+// With -batch-size (and optionally -flush-interval) a single configuration
+// runs instead of the sweep — the same knobs cmd/birds-shell exposes, so
+// the whole pipeline is reachable end-to-end from the command line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"birds/internal/bench"
+	"birds/internal/engine"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 10000, "base-table rows")
+		writes     = flag.Int("writes", 20000, "measured write transactions per configuration")
+		stream     = flag.String("stream", "coalesce", "write stream: coalesce (PR 3 stream, insert/delete pairs cancel inside a batch) or window (non-cancelling)")
+		sizesArg   = flag.String("batch-sizes", "1,8,64,512", "comma-separated batch sizes to sweep")
+		batchSize  = flag.Int("batch-size", 0, "run a single batch size instead of the sweep")
+		flushEvery = flag.Duration("flush-interval", 0, "interval flush trigger for the single-configuration run (0 = size trigger only)")
+	)
+	flag.Parse()
+
+	txn := bench.BatchedDMLTxn
+	switch *stream {
+	case "coalesce":
+	case "window":
+		txn = bench.BatchedDMLWindowTxn
+	default:
+		fmt.Fprintln(os.Stderr, "dmlbench: unknown -stream (want coalesce or window)")
+		os.Exit(2)
+	}
+
+	var sizes []int
+	if *batchSize != 0 {
+		sizes = []int{*batchSize}
+	} else {
+		for _, s := range strings.Split(*sizesArg, ",") {
+			b, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dmlbench: bad batch size:", err)
+				os.Exit(2)
+			}
+			sizes = append(sizes, b)
+		}
+	}
+
+	fmt.Printf("dmlbench: n=%d writes=%d stream=%s\n", *n, *writes, *stream)
+	fmt.Printf("%-12s %14s %14s\n", "batch", "ns/write", "writes/s")
+	var base float64
+	for _, bs := range sizes {
+		perWrite, err := run(*n, *writes, bs, *flushEvery, txn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmlbench:", err)
+			os.Exit(1)
+		}
+		if base == 0 {
+			base = perWrite
+		}
+		fmt.Printf("%-12d %14.0f %14.0f   (%.2fx vs batch=%d)\n",
+			bs, perWrite, 1e9/perWrite, base/perWrite, sizes[0])
+	}
+}
+
+// run measures one configuration: writes transactions through a fresh
+// fixture and batcher, returning the amortized ns per write (final flush
+// included).
+func run(n, writes, batch int, flushEvery time.Duration, txn func(*engine.Batcher, int, int) error) (float64, error) {
+	db, bt, err := bench.SetupBatchedDML(n, batch, 1)
+	if err != nil {
+		return 0, err
+	}
+	if flushEvery > 0 {
+		bt.Close()
+		bt = db.Batch(engine.BatchOptions{MaxTxns: batch, FlushInterval: flushEvery})
+	}
+	start := time.Now()
+	for i := 1; i <= writes; i++ {
+		if err := txn(bt, n, i); err != nil {
+			return 0, err
+		}
+	}
+	if err := bt.Close(); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	for _, vn := range bench.DMLMaintenanceViews() {
+		if db.Stale(vn) {
+			return 0, fmt.Errorf("view %s fell off the incremental path", vn)
+		}
+	}
+	return float64(elapsed.Nanoseconds()) / float64(writes), nil
+}

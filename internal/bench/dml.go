@@ -118,3 +118,105 @@ func DMLMaintenanceTxn(db *engine.DB, n, i int) error {
 // order — callers assert they stay clean (never fall back to the dirty
 // path) across the measured writes.
 func DMLMaintenanceViews() []string { return []string{"luxury", "owned"} }
+
+// BatchedHotWindow is the number of primed hot rows the batched fixture
+// keeps alive: each write deletes the row inserted BatchedHotWindow
+// transactions earlier, so at any batch size up to the window no
+// insert/delete pair cancels inside a batch — the benchmark measures
+// propagation amortization, not coalescing luck.
+const BatchedHotWindow = 600
+
+// SetupBatchedDML builds the DML-maintenance fixture at base size n (plus
+// the primed hot window) and returns it with a group-commit Batcher that
+// flushes every batch transactions. batch=1 degenerates to one maintenance
+// pass per write — the unbatched baseline with identical admission
+// bookkeeping, which is what BenchmarkBatchedDML's batch-size sweep
+// compares against.
+func SetupBatchedDML(n, batch int, seed int64) (*engine.DB, *engine.Batcher, error) {
+	rng := rand.New(rand.NewSource(seed))
+	db := engine.NewDB()
+	if err := decl(db, "items(iid:int, iname:string, price:int)."); err != nil {
+		return nil, nil, err
+	}
+	if err := decl(db, "owners(oid:int, iid:int)."); err != nil {
+		return nil, nil, err
+	}
+	rows := make([]value.Tuple, 0, n+BatchedHotWindow)
+	for i := 0; i < n; i++ {
+		rows = append(rows, value.Tuple{ints(i), str(fmt.Sprintf("item%d", i)), ints(rng.Intn(2000) + 1)})
+	}
+	for i := 0; i < BatchedHotWindow; i++ {
+		rows = append(rows, value.Tuple{ints(n + i), str(fmt.Sprintf("hot%d", n+i)), ints(1500)})
+	}
+	if err := db.LoadTable("items", rows); err != nil {
+		return nil, nil, err
+	}
+	owners := make([]value.Tuple, 0, n/4+1)
+	for i := 0; i <= n/4; i++ {
+		owners = append(owners, value.Tuple{ints(i), ints(rng.Intn(n))})
+	}
+	if err := db.LoadTable("owners", owners); err != nil {
+		return nil, nil, err
+	}
+
+	luxuryGet, err := datalog.ParseRule("luxury(I,N,P) :- items(I,N,P), P > 1000.")
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := db.CreateView(dmlLuxuryProgram, engine.ViewOptions{
+		SkipValidation: true, ExpectedGet: []*datalog.Rule{luxuryGet},
+	}); err != nil {
+		return nil, nil, err
+	}
+	ownedGet, err := datalog.ParseRule("owned(O,I,P) :- owners(O,I), items(I,_,P).")
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := db.CreateView(dmlOwnedProgram, engine.ViewOptions{
+		SkipValidation: true, ExpectedGet: []*datalog.Rule{ownedGet},
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	// Warm-up write 0 initializes the support counts (the one O(|DB|)
+	// step) and establishes the steady-state alive window {n+1 .. n+W}.
+	if err := db.Exec(
+		engine.Insert("items", ints(n+BatchedHotWindow), str(fmt.Sprintf("hot%d", n+BatchedHotWindow)), ints(1500)),
+		engine.Delete("items", engine.Eq("iid", ints(n))),
+	); err != nil {
+		return nil, nil, err
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	return db, db.Batch(engine.BatchOptions{MaxTxns: batch}), nil
+}
+
+// BatchedDMLTxn admits steady-state write transaction i (i >= 1) of the
+// PR 3 DMLMaintenance stream: insert one fresh hot item and delete the
+// previous transaction's — a fixed two-tuple delta per transaction. Within
+// a batch, transaction i's insert and transaction i+1's delete hit the
+// same row and cancel in the staged buffer, so a batch of K transactions
+// coalesces to a ~2-row net delta: this stream measures the full group-
+// commit effect (coalescing plus single maintenance pass).
+func BatchedDMLTxn(bt *engine.Batcher, n, i int) error {
+	id := n + BatchedHotWindow + i
+	return bt.Exec(
+		engine.Insert("items", ints(id), str(fmt.Sprintf("hot%d", id)), ints(1500)),
+		engine.Delete("items", engine.Eq("iid", ints(id-1))),
+	)
+}
+
+// BatchedDMLWindowTxn admits steady-state write transaction i (i >= 1) of
+// the non-cancelling variant: insert one fresh hot item and delete the one
+// that left the BatchedHotWindow-sized window, so no insert/delete pair
+// cancels inside a batch (window > any swept batch size) and the flushed
+// delta is the full 2·K rows: this stream isolates the amortization of the
+// per-pass fixed cost, with zero coalescing.
+func BatchedDMLWindowTxn(bt *engine.Batcher, n, i int) error {
+	id := n + BatchedHotWindow + i
+	return bt.Exec(
+		engine.Insert("items", ints(id), str(fmt.Sprintf("hot%d", id)), ints(1500)),
+		engine.Delete("items", engine.Eq("iid", ints(n+i))),
+	)
+}

@@ -1,0 +1,523 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"birds/internal/datalog"
+	"birds/internal/eval"
+	"birds/internal/value"
+)
+
+// errBatcherClosed is returned by a closed Batcher handle; DB.Exec routing
+// treats it as "batching was just disabled" and retries directly.
+var errBatcherClosed = errors.New("engine: batcher is closed")
+
+// This file is the group-commit write pipeline: a Batcher admits table
+// transactions without taking the engine's exclusive lock, stages their
+// validated net row deltas in a coalesced per-table buffer (an insert
+// cancelling a staged delete nets out, no-op statements contribute
+// nothing), and flushes the whole buffer as ONE view-maintenance pass —
+// so N writes cost one delta propagation instead of N. PR 3 made every
+// write O(|Δ|); batching amortizes the per-pass fixed cost (per-view
+// EvalDelta invocation, delta bookkeeping, lock traffic) across the batch,
+// and hands the maintenance pass a wide coalesced delta the parallel
+// propagation path of internal/eval can fan out across workers.
+//
+// Consistency contract (group commit):
+//
+//   - Admission is atomic per transaction: a statement error (bad arity,
+//     unknown column, contradictory WHERE) rolls back only that
+//     transaction's staged contribution; the rest of the batch is
+//     unaffected.
+//   - Readers (Get, Rel, Snapshot) observe only fully-flushed batches.
+//     Staged transactions live outside the store until flush, and the
+//     flush applies the whole batch — base rows plus the incremental
+//     maintenance of every dependent view — under the engine's write lock,
+//     so a copy-on-write snapshot taken at any moment holds either none or
+//     all of a batch, never a partial one.
+//   - Within a batch, transactions read their own and earlier admitted
+//     transactions' effects (statement matching runs against the last
+//     flushed state overlaid with the staged delta), so admitting
+//     transactions t1..tn and flushing is equivalent to executing t1..tn
+//     serially one-at-a-time — the property the differential harness in
+//     batch_test.go pins down.
+//   - View-targeted transactions and reads of the engine bypass staging:
+//     a view update first flushes the pending batch (its trigger must
+//     evaluate against flushed state), then runs the normal propagation
+//     path. Direct writes that bypass a handle Batcher (LoadTable, Exec on
+//     another DB handle) serialize at the flush point: the flush re-checks
+//     every staged row against the store, so views are still maintained
+//     with exact net deltas, but statement matching of already-admitted
+//     transactions will not have seen those writes.
+//
+// Lock discipline: admissions serialize on the batcher's own mutex and
+// read the store under the engine's read lock (statement matching probes
+// existing hash indexes read-only and falls back to a scan, scheduling the
+// index build for after admission), so admissions run concurrently with
+// readers and never pay the maintenance lock; only the flush takes the
+// engine write lock. Lock order is always batcher.mu → engine.mu.
+
+// DefaultBatchSize is the size trigger used when BatchOptions.MaxTxns is 0.
+const DefaultBatchSize = 64
+
+// BatchOptions configures a Batcher.
+type BatchOptions struct {
+	// MaxTxns flushes the batch when this many transactions have been
+	// admitted since the last flush. 0 selects DefaultBatchSize; negative
+	// disables the size trigger (flush on interval or explicitly).
+	MaxTxns int
+	// FlushInterval, when positive, flushes a non-empty batch this long
+	// after its first admission, bounding the staleness a batched write
+	// can have for readers.
+	FlushInterval time.Duration
+}
+
+// Batcher is a group-commit handle on a DB: Exec admits transactions into
+// the current batch, Flush propagates the coalesced batch as one
+// view-maintenance pass. Safe for concurrent use.
+type Batcher struct {
+	db   *DB
+	opts BatchOptions
+
+	mu sync.Mutex
+	// stage holds the coalesced per-table net deltas of the batch in
+	// flight, as relations Ins(t)/Del(t) in a private eval.Database —
+	// which maintains hash indexes over them incrementally, so statement
+	// matching probes the staged rows in O(1) instead of scanning them
+	// (the difference between O(1) and O(batch) per admission).
+	stage    *eval.Database
+	staged   map[string]int // tables with staged deltas → arity
+	txns     int            // transactions admitted since the last flush
+	wantIx   []wantedIndex  // WHERE probes that missed a store index during admission
+	timer    *time.Timer
+	armed    bool
+	deadline time.Time // when the armed interval trigger is due
+	closed   bool
+}
+
+type wantedIndex struct {
+	pred      datalog.PredSym
+	positions []int
+}
+
+// Batch returns a new group-commit handle on the database. The handle is
+// independent of SetBatching: transactions admitted through it are staged
+// until its Flush/Close (or its size/interval triggers), while db.Exec
+// keeps its configured behavior.
+func (db *DB) Batch(opts BatchOptions) *Batcher {
+	if opts.MaxTxns == 0 {
+		opts.MaxTxns = DefaultBatchSize
+	}
+	return &Batcher{db: db, opts: opts, stage: eval.NewDatabase(), staged: make(map[string]int)}
+}
+
+// SetBatching routes every subsequent db.Exec through a new group-commit
+// Batcher with the given options and returns it. A previously installed
+// batcher is flushed and closed. Use StopBatching (or SetBatching on a
+// fresh handle) to restore immediate per-transaction propagation.
+func (db *DB) SetBatching(opts BatchOptions) *Batcher {
+	b := db.Batch(opts)
+	if old := db.batcher.Swap(b); old != nil {
+		old.Close()
+	}
+	return b
+}
+
+// StopBatching flushes and uninstalls the batcher installed by SetBatching,
+// restoring immediate per-transaction propagation. It is a no-op when
+// batching is not enabled.
+func (db *DB) StopBatching() error {
+	if old := db.batcher.Swap(nil); old != nil {
+		return old.Close()
+	}
+	return nil
+}
+
+// Flush propagates the pending batch of the installed batcher, if any.
+func (db *DB) Flush() error {
+	if b := db.batcher.Load(); b != nil {
+		return b.Flush()
+	}
+	return nil
+}
+
+// Batching reports whether Exec currently routes through a batcher.
+func (db *DB) Batching() bool { return db.batcher.Load() != nil }
+
+// Exec admits one transaction into the current batch. Table transactions
+// are validated and staged (visible to later admissions, invisible to
+// readers until flush); the batch flushes when the size or interval
+// trigger fires, or on Flush/Close. A view-targeted transaction flushes
+// the pending batch first and then runs the unbatched propagation path.
+// Statement errors roll back only this transaction's staged contribution.
+func (b *Batcher) Exec(stmts ...Statement) error {
+	if len(stmts) == 0 {
+		return nil
+	}
+	if err := oneTarget(stmts); err != nil {
+		return err
+	}
+	target := stmts[0].Target
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return errBatcherClosed
+	}
+
+	db := b.db
+	db.mu.RLock()
+	decl, isTable := db.tables[target]
+	_, isView := db.views[target]
+	db.mu.RUnlock()
+	switch {
+	case isTable:
+	case isView:
+		// View updates must evaluate their trigger against flushed state,
+		// and their putback plan applies (and maintains views) immediately.
+		if err := b.flushLocked(); err != nil {
+			return err
+		}
+		return db.execDirect(stmts)
+	default:
+		return fmt.Errorf("engine: unknown relation %q", target)
+	}
+
+	if err := b.admitTable(target, decl, stmts); err != nil {
+		return err
+	}
+	b.buildWantedIndexes()
+	b.txns++
+	if b.opts.MaxTxns > 0 && b.txns >= b.opts.MaxTxns {
+		return b.flushLocked()
+	}
+	b.armTimerLocked()
+	return nil
+}
+
+// Pending reports the number of transactions admitted since the last flush.
+func (b *Batcher) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.txns
+}
+
+// Flush applies the staged batch: base-table rows enter the store and every
+// dependent view is maintained incrementally in ONE pass over the coalesced
+// net delta, all under the engine write lock, so readers switch from the
+// pre-batch to the post-batch state atomically.
+func (b *Batcher) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushLocked()
+}
+
+// Close flushes the pending batch and permanently closes the handle.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	err := b.flushLocked()
+	b.closed = true
+	return err
+}
+
+// flushLocked is Flush with b.mu held.
+func (b *Batcher) flushLocked() error {
+	b.disarmTimerLocked()
+	if b.txns == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(b.staged))
+	for n := range b.staged {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	db := b.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	changed := make(map[string]eval.Delta, len(names))
+	for _, n := range names {
+		arity := b.staged[n]
+		p := datalog.Pred(n)
+		// Apply the staged rows, re-checking each against the store so the
+		// delta handed to view maintenance is exact even if a direct writer
+		// interleaved between admission and flush. In the common case every
+		// row applies and the staged relations themselves become the delta
+		// (the stage gets fresh ones below); only rows a direct writer
+		// preempted are pruned.
+		ins := b.stage.RelOrEmpty(datalog.Ins(n), arity)
+		del := b.stage.RelOrEmpty(datalog.Del(n), arity)
+		var failed []value.Tuple
+		del.Each(func(t value.Tuple) {
+			if !db.store.Delete(p, t) {
+				failed = append(failed, t)
+			}
+		})
+		for _, t := range failed {
+			del.Remove(t)
+		}
+		failed = failed[:0]
+		ins.Each(func(t value.Tuple) {
+			if !db.store.Insert(p, t) {
+				failed = append(failed, t)
+			}
+		})
+		for _, t := range failed {
+			ins.Remove(t)
+		}
+		if !ins.Empty() || !del.Empty() {
+			changed[n] = eval.Delta{Ins: ins, Del: del}
+		}
+		// Reset the staged relations through Update, which keeps their hot
+		// probe indexes alive (rebuilt over the empty relation) for the
+		// next batch's admissions. The old relations live on as the delta.
+		b.stage.Update(datalog.Ins(n), value.NewRelation(arity))
+		b.stage.Update(datalog.Del(n), value.NewRelation(arity))
+	}
+	clear(b.staged)
+	b.txns = 0
+	if len(changed) > 0 {
+		db.maintainViews(changed, nil)
+	}
+	return nil
+}
+
+// armTimerLocked starts the interval trigger for the batch in flight.
+func (b *Batcher) armTimerLocked() {
+	if b.opts.FlushInterval <= 0 || b.armed || b.txns == 0 {
+		return
+	}
+	b.armed = true
+	b.deadline = time.Now().Add(b.opts.FlushInterval)
+	if b.timer == nil {
+		b.timer = time.AfterFunc(b.opts.FlushInterval, b.timerFlush)
+		return
+	}
+	b.timer.Reset(b.opts.FlushInterval)
+}
+
+// timerFlush is the interval trigger's callback. A firing can be stale:
+// the timer may have gone off for an earlier batch just as it was being
+// disarmed (Stop reports the miss but cannot recall the callback), in
+// which case a later arm's Reset leaves this invocation pending alongside
+// the rescheduled one. The deadline check makes stale firings reschedule
+// to the live batch's due time instead of flushing it early.
+func (b *Batcher) timerFlush() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || !b.armed {
+		return
+	}
+	if d := time.Until(b.deadline); d > 0 {
+		b.timer.Reset(d)
+		return
+	}
+	b.armed = false
+	// Flushing staged table deltas cannot fail; maintenance errors degrade
+	// views to the dirty/refresh fallback.
+	_ = b.flushLocked()
+}
+
+// disarmTimerLocked stops the interval trigger, if armed.
+func (b *Batcher) disarmTimerLocked() {
+	if b.timer != nil && b.armed {
+		b.timer.Stop()
+	}
+	b.armed = false
+}
+
+// buildWantedIndexes builds, under the engine write lock, the hash indexes
+// admission probes fell back to scanning for — once per (table, column
+// set), so subsequent admissions probe read-only.
+func (b *Batcher) buildWantedIndexes() {
+	if len(b.wantIx) == 0 {
+		return
+	}
+	b.db.mu.Lock()
+	for _, w := range b.wantIx {
+		b.db.store.Index(w.pred, w.positions)
+	}
+	b.db.mu.Unlock()
+	b.wantIx = b.wantIx[:0]
+}
+
+// admitTable validates and stages one table transaction: its statements
+// run against the effective relation state (last flushed store overlaid
+// with the staged batch delta and the transaction's own local delta), and
+// the resulting net row delta merges into the staged batch only if every
+// statement succeeded. The store is only read, under the engine read lock.
+func (b *Batcher) admitTable(name string, decl *datalog.RelDecl, stmts []Statement) error {
+	arity := decl.Arity()
+	pendIns := b.stage.Ensure(datalog.Ins(name), arity)
+	pendDel := b.stage.Ensure(datalog.Del(name), arity)
+	l := eval.NewDelta(arity) // this transaction's local delta
+
+	db := b.db
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p := datalog.Pred(name)
+
+	effContains := func(t value.Tuple) bool {
+		switch {
+		case l.Ins.Contains(t):
+			return true
+		case l.Del.Contains(t):
+			return false
+		case pendIns.Contains(t):
+			return true
+		case pendDel.Contains(t):
+			return false
+		}
+		rel := db.store.Rel(p)
+		return rel != nil && rel.Contains(t)
+	}
+	insert := func(t value.Tuple) {
+		if effContains(t) {
+			return
+		}
+		if !l.Del.Remove(t) {
+			l.Ins.Add(t)
+		}
+	}
+	remove := func(t value.Tuple) {
+		if !effContains(t) {
+			return
+		}
+		if !l.Ins.Remove(t) {
+			l.Del.Add(t)
+		}
+	}
+
+	match := func(where []Condition) ([]value.Tuple, error) {
+		return b.matchEffective(name, decl, where, l)
+	}
+	if err := runTableStmts(name, decl, stmts, match, insert, remove); err != nil {
+		return err // l is discarded: nothing staged, per-txn rollback
+	}
+
+	// Commit: merge the transaction's local delta into the staged batch,
+	// cancelling insert/delete pairs across transactions. Insert/Delete on
+	// the stage maintain its probe indexes incrementally.
+	insP, delP := datalog.Ins(name), datalog.Del(name)
+	l.Del.Each(func(t value.Tuple) {
+		if !b.stage.Delete(insP, t) {
+			b.stage.Insert(delP, t)
+		}
+	})
+	l.Ins.Each(func(t value.Tuple) {
+		if !b.stage.Delete(delP, t) {
+			b.stage.Insert(insP, t)
+		}
+	})
+	if !l.Empty() {
+		b.staged[name] = arity
+	}
+	return nil
+}
+
+// matchEffective returns the rows matching where in the effective state
+// (store ⊖ staged deletions ⊕ staged insertions, batch and transaction
+// layers). Store candidates come from an existing hash index when one
+// covers the equality columns — a pure read — and otherwise from a scan,
+// with the index build scheduled for after admission; staged-insertion
+// candidates probe the stage database's own maintained indexes. Must be
+// called with db.mu read-held and b.mu held.
+func (b *Batcher) matchEffective(name string, decl *datalog.RelDecl, where []Condition, l eval.Delta) ([]value.Tuple, error) {
+	positions, key, none, err := eqProbe(decl, where)
+	if err != nil || none {
+		return nil, err
+	}
+	p := datalog.Pred(name)
+	insP := datalog.Ins(name)
+	pendDel := b.stage.RelOrEmpty(datalog.Del(name), decl.Arity())
+	out := value.NewRelation(decl.Arity())
+	addIfLive := func(t value.Tuple) error {
+		ok, err := rowMatches(decl, t, where)
+		if err != nil {
+			return err
+		}
+		if ok && !pendDel.Contains(t) && !l.Del.Contains(t) {
+			out.Add(t)
+		}
+		return nil
+	}
+	// Store candidates.
+	storeScan := positions == nil
+	if !storeScan {
+		if tuples, ok := b.db.store.LookupExisting(p, positions, key); ok {
+			for _, t := range tuples {
+				if err := addIfLive(t); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			b.wantIx = append(b.wantIx, wantedIndex{pred: p, positions: positions})
+			storeScan = true // scan this time; the index exists next time
+		}
+	}
+	if storeScan {
+		var ierr error
+		b.db.store.RelOrEmpty(p, decl.Arity()).EachUntil(func(t value.Tuple) bool {
+			ierr = addIfLive(t)
+			return ierr == nil
+		})
+		if ierr != nil {
+			return nil, ierr
+		}
+	}
+	// Staged-insertion candidates: part of the effective state, shadowed
+	// only by transaction-local deletions. The stage is private to the
+	// batcher, so building its index here mutates nothing shared.
+	addStaged := func(t value.Tuple) error {
+		ok, err := rowMatches(decl, t, where)
+		if err != nil {
+			return err
+		}
+		if ok && !l.Del.Contains(t) {
+			out.Add(t)
+		}
+		return nil
+	}
+	if positions != nil {
+		for _, t := range b.stage.Lookup(insP, positions, key) {
+			if err := addStaged(t); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var serr error
+		b.stage.RelOrEmpty(insP, decl.Arity()).EachUntil(func(t value.Tuple) bool {
+			serr = addStaged(t)
+			return serr == nil
+		})
+		if serr != nil {
+			return nil, serr
+		}
+	}
+	// Transaction-local insertions (bounded by this transaction's own
+	// statements — a linear pass is fine).
+	var lerr error
+	l.Ins.EachUntil(func(t value.Tuple) bool {
+		ok, err := rowMatches(decl, t, where)
+		if err != nil {
+			lerr = err
+			return false
+		}
+		if ok {
+			out.Add(t)
+		}
+		return true
+	})
+	if lerr != nil {
+		return nil, lerr
+	}
+	return out.Tuples(), nil
+}

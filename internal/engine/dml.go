@@ -73,18 +73,45 @@ func Eq(col string, v value.Value) Condition {
 // combined view delta is derived per Algorithm 2 and propagated through
 // the view's update strategy to the sources. On any error nothing is
 // applied.
+//
+// With batching enabled (SetBatching), table transactions are admitted to
+// the current batch and take effect — including the incremental
+// maintenance of dependent views — at the next flush; see Batcher for the
+// group-commit contract. Without batching every transaction propagates
+// immediately.
 func (db *DB) Exec(stmts ...Statement) error {
+	// Re-load on a closed batcher: a concurrent SetBatching swaps in a
+	// replacement, and the write must route to it (not run directly, which
+	// would leapfrog transactions already staged there). Only a nil load —
+	// batching disabled — falls through to the direct path.
+	for {
+		b := db.batcher.Load()
+		if b == nil {
+			return db.execDirect(stmts)
+		}
+		if err := b.Exec(stmts...); err != errBatcherClosed {
+			return err
+		}
+		// The loaded batcher is closed. If it is still the installed one
+		// (the caller Closed the handle directly instead of StopBatching),
+		// uninstall it so the next iteration runs direct; if it was
+		// swapped meanwhile, the next iteration picks up the replacement.
+		db.batcher.CompareAndSwap(b, nil)
+	}
+}
+
+// execDirect is the unbatched transaction path: one engine write lock, one
+// view-maintenance pass.
+func (db *DB) execDirect(stmts []Statement) error {
 	if len(stmts) == 0 {
 		return nil
+	}
+	if err := oneTarget(stmts); err != nil {
+		return err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	target := stmts[0].Target
-	for _, s := range stmts[1:] {
-		if s.Target != target {
-			return fmt.Errorf("engine: a transaction must target a single relation (%q vs %q)", target, s.Target)
-		}
-	}
 	if _, ok := db.tables[target]; ok {
 		return db.execTable(target, stmts)
 	}
@@ -92,6 +119,17 @@ func (db *DB) Exec(stmts ...Statement) error {
 		return db.execView(target, stmts)
 	}
 	return fmt.Errorf("engine: unknown relation %q", target)
+}
+
+// oneTarget checks the transaction's statements share a single target.
+func oneTarget(stmts []Statement) error {
+	target := stmts[0].Target
+	for _, s := range stmts[1:] {
+		if s.Target != target {
+			return fmt.Errorf("engine: a transaction must target a single relation (%q vs %q)", target, s.Target)
+		}
+	}
+	return nil
 }
 
 // --- statements against base tables -------------------------------------
@@ -122,36 +160,52 @@ func (db *DB) execTable(name string, stmts []Statement) error {
 			}
 		}
 	}
-	rollback := func() {
+	match := func(where []Condition) ([]value.Tuple, error) {
+		return db.matchRows(name, decl, where)
+	}
+	if err := runTableStmts(name, decl, stmts, match, insert, remove); err != nil {
+		// Roll the applied part of the delta back: atomicity.
 		d.Ins.Each(func(r value.Tuple) { db.store.Delete(p, r) })
 		d.Del.Each(func(r value.Tuple) { db.store.Insert(p, r) })
+		return err
 	}
+	if !d.Empty() {
+		db.maintainViews(map[string]eval.Delta{name: d}, nil)
+	}
+	return nil
+}
+
+// runTableStmts is the statement loop shared by the direct write path
+// (execTable) and batch admission (Batcher.admitTable): the transaction
+// semantics — arity validation, WHERE matching, UPDATE as delete-then-
+// insert of the matched rows — live here once, parameterized over the
+// effective state the statements run against (the store directly, or the
+// store overlaid with staged batch deltas).
+func runTableStmts(name string, decl *datalog.RelDecl, stmts []Statement,
+	match func([]Condition) ([]value.Tuple, error),
+	insert, remove func(value.Tuple)) error {
 	for _, s := range stmts {
 		switch s.Kind {
 		case StmtInsert:
 			if len(s.Row) != decl.Arity() {
-				rollback()
 				return fmt.Errorf("engine: INSERT arity mismatch on %q", name)
 			}
 			insert(s.Row)
 		case StmtDelete:
-			rows, err := db.matchRows(name, decl, s.Where)
+			rows, err := match(s.Where)
 			if err != nil {
-				rollback()
 				return err
 			}
 			for _, r := range rows {
 				remove(r)
 			}
 		case StmtUpdate:
-			rows, err := db.matchRows(name, decl, s.Where)
+			rows, err := match(s.Where)
 			if err != nil {
-				rollback()
 				return err
 			}
 			updated, err := applyAssignments(decl, rows, s.Set)
 			if err != nil {
-				rollback()
 				return err
 			}
 			for _, r := range rows {
@@ -161,9 +215,6 @@ func (db *DB) execTable(name string, stmts []Statement) error {
 				insert(r)
 			}
 		}
-	}
-	if !d.Empty() {
-		db.maintainViews(map[string]eval.Delta{name: d}, nil)
 	}
 	return nil
 }
@@ -483,9 +534,11 @@ func rowMatches(decl *datalog.RelDecl, row value.Tuple, where []Condition) (bool
 	return true, nil
 }
 
-// matchRows returns the stored rows of a relation matching the conditions,
-// probing a hash index on the equality columns when possible.
-func (db *DB) matchRows(name string, decl *datalog.RelDecl, where []Condition) ([]value.Tuple, error) {
+// eqProbe normalizes the equality conjuncts of a WHERE clause into a hash
+// probe: sorted, deduplicated key positions and the corresponding key.
+// positions is nil when the clause has no equality conjunct (callers must
+// scan); none reports a contradictory equality pair, which matches nothing.
+func eqProbe(decl *datalog.RelDecl, where []Condition) (positions []int, key value.Tuple, none bool, err error) {
 	var eqPos []int
 	var eqVals []value.Value
 	for _, c := range where {
@@ -494,38 +547,54 @@ func (db *DB) matchRows(name string, decl *datalog.RelDecl, where []Condition) (
 		}
 		i, err := colIndex(decl, c.Col)
 		if err != nil {
-			return nil, err
+			return nil, nil, false, err
 		}
 		eqPos = append(eqPos, i)
 		eqVals = append(eqVals, c.Val)
 	}
+	if len(eqPos) == 0 {
+		return nil, nil, false, nil
+	}
+	if len(eqPos) == 1 { // the common point-lookup: no dedup bookkeeping
+		return eqPos, value.Tuple{eqVals[0]}, false, nil
+	}
+	// Deduplicate positions for the index key (repeated columns in the
+	// WHERE clause are legal but would corrupt the mask).
+	type pv struct {
+		pos int
+		val value.Value
+	}
+	seen := make(map[int]pv)
+	ordered := eqPos[:0:0]
+	for k, pos := range eqPos {
+		if prev, ok := seen[pos]; ok {
+			if !prev.val.Equal(eqVals[k]) {
+				return nil, nil, true, nil // contradictory equalities match nothing
+			}
+			continue
+		}
+		seen[pos] = pv{pos, eqVals[k]}
+		ordered = append(ordered, pos)
+	}
+	sort.Ints(ordered)
+	key = make(value.Tuple, len(ordered))
+	for k, pos := range ordered {
+		key[k] = seen[pos].val
+	}
+	return ordered, key, false, nil
+}
+
+// matchRows returns the stored rows of a relation matching the conditions,
+// probing a hash index on the equality columns when possible.
+func (db *DB) matchRows(name string, decl *datalog.RelDecl, where []Condition) ([]value.Tuple, error) {
+	positions, key, none, err := eqProbe(decl, where)
+	if err != nil || none {
+		return nil, err
+	}
 	p := datalog.Pred(name)
 	var candidates []value.Tuple
-	if len(eqPos) > 0 {
-		// Deduplicate positions for the index key (repeated columns in the
-		// WHERE clause are legal but would corrupt the mask).
-		type pv struct {
-			pos int
-			val value.Value
-		}
-		seen := make(map[int]pv)
-		ordered := eqPos[:0:0]
-		for k, pos := range eqPos {
-			if prev, ok := seen[pos]; ok {
-				if !prev.val.Equal(eqVals[k]) {
-					return nil, nil // contradictory equalities match nothing
-				}
-				continue
-			}
-			seen[pos] = pv{pos, eqVals[k]}
-			ordered = append(ordered, pos)
-		}
-		sort.Ints(ordered)
-		key := make(value.Tuple, len(ordered))
-		for k, pos := range ordered {
-			key[k] = seen[pos].val
-		}
-		candidates = db.store.Lookup(p, ordered, key)
+	if positions != nil {
+		candidates = db.store.Lookup(p, positions, key)
 	} else {
 		candidates = db.store.RelOrEmpty(p, decl.Arity()).Tuples()
 	}

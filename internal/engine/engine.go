@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"birds/internal/core"
 	"birds/internal/datalog"
@@ -37,6 +38,11 @@ type DB struct {
 	dirty       map[string]bool // views whose materialization is stale
 	viewOrder   []string        // views in dependency order (sources first); rebuilt on CreateView
 	parallelism int             // evaluator workers for views (0 = sequential)
+
+	// batcher, when non-nil, routes Exec through the group-commit write
+	// pipeline (batch.go). Atomic so Exec can read it without taking the
+	// engine lock (the batcher has its own lock discipline).
+	batcher atomic.Pointer[Batcher]
 }
 
 // View is a registered updatable view: its schema, validated strategy

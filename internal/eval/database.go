@@ -281,6 +281,23 @@ func (db *Database) Lookup(p datalog.PredSym, positions []int, key value.Tuple) 
 	return db.Index(p, positions).lookup(key)
 }
 
+// LookupExisting probes an already-built index on p for positions without
+// building one and without touching any index bookkeeping — a pure read,
+// safe concurrently with other readers as long as no writer mutates the
+// database. ok reports whether such an index exists; when false the caller
+// must fall back to a scan or build the index under exclusive access. An
+// index probed only through LookupExisting is not marked hot, so a
+// subsequent Update of the relation may drop it; base-table relations,
+// which are maintained by Insert/Delete rather than replaced, keep it.
+func (db *Database) LookupExisting(p datalog.PredSym, positions []int, key value.Tuple) (tuples []value.Tuple, ok bool) {
+	for _, ix := range db.indexes[p] {
+		if slices.Equal(ix.positions, positions) {
+			return ix.lookup(key), true
+		}
+	}
+	return nil, false
+}
+
 // IndexStats describes one live index, for diagnostics.
 type IndexStats struct {
 	Pred      datalog.PredSym

@@ -35,6 +35,27 @@ var (
 	parallelMinWork = 2048
 )
 
+// runTasks runs n tasks with at most p concurrent workers (task i runs
+// run(i)) and returns after all complete — the worker-pool scaffolding
+// shared by the full-evaluation scheduler, the parallel counted init and
+// the parallel delta propagation. run must do its own error capture (e.g.
+// into a per-task slot); panics are not recovered, matching the
+// sequential path.
+func runTasks(p, n int, run func(int)) {
+	sem := make(chan struct{}, p)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			run(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
 // parallelTask is one unit of work: one rule, one shard of its outer scan,
 // emitting into a private partial relation.
 type parallelTask struct {
@@ -126,24 +147,15 @@ func (e *Evaluator) evalParallel(db *Database, include map[datalog.PredSym]bool)
 		// environment; the sharded task's outer scan iterates only its
 		// hash shard. Nothing mutates db until the barrier below.
 		errs := make([]error, len(tasks))
-		sem := make(chan struct{}, p)
-		var wg sync.WaitGroup
-		for ti := range tasks {
-			wg.Add(1)
-			go func(ti int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				t := &tasks[ti]
-				en := t.cr.newEnv()
-				en.shardStep, en.shard, en.nshards = t.shardStep, t.shard, t.nshards
-				_, errs[ti] = t.cr.exec(t.rc, en, 0, func(tu value.Tuple) bool {
-					t.out.Add(tu)
-					return true
-				})
-			}(ti)
-		}
-		wg.Wait()
+		runTasks(p, len(tasks), func(ti int) {
+			t := &tasks[ti]
+			en := t.cr.newEnv()
+			en.shardStep, en.shard, en.nshards = t.shardStep, t.shard, t.nshards
+			_, errs[ti] = t.cr.exec(t.rc, en, 0, func(tu value.Tuple) bool {
+				t.out.Add(tu)
+				return true
+			})
+		})
 		for _, err := range errs {
 			if err != nil {
 				return err
