@@ -16,6 +16,8 @@ package birds_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -227,6 +229,135 @@ func BenchmarkBatchedDML(b *testing.B) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkWALDML measures the durability tax on the group-commit write
+// pipeline: the BatchedDML coalesce stream with a write-ahead log attached,
+// sweeping fsync mode × batch size. "off" appends without syncing (the pure
+// encode+write cost), "commit" fsyncs every record, "flush" fsyncs once per
+// group-commit flush record — the mode group commit exists for, amortizing
+// the ~100µs fsync across the batch exactly like the maintenance pass. CI
+// emits this benchmark as the BENCH_wal.json artifact; the acceptance bound
+// for this PR is flush/batch=64 < 2× the PR 4 in-memory per-write figure.
+func BenchmarkWALDML(b *testing.B) {
+	const n = 10000
+	// Synced modes run before "off": the off-mode fixtures leave the whole
+	// log as dirty page cache, and kernel writeback of those pages would
+	// contend with the timed fsyncs of any sub-benchmark running after.
+	for _, mode := range []birds.SyncMode{birds.SyncOnFlush, birds.SyncOnCommit, birds.SyncOff} {
+		for _, batch := range []int{64, 1} {
+			mode, batch := mode, batch
+			b.Run(fmt.Sprintf("fsync=%s/batch=%d", mode, batch), func(b *testing.B) {
+				db, bt, err := bench.SetupBatchedDMLDurable(n, batch, 1, b.TempDir(), mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := bench.BatchedDMLTxn(bt, n, i+1); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := bt.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				for _, vn := range bench.DMLMaintenanceViews() {
+					if db.Stale(vn) {
+						b.Fatalf("view %s fell off the incremental path", vn)
+					}
+				}
+				// Drain this fixture's dirty pages outside the timer so they
+				// don't bleed into the next sub-benchmark's measurements.
+				if err := db.WALLog().Sync(); err != nil {
+					b.Fatal(err)
+				}
+				if err := db.Close(); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkWALRecover measures cold recovery: load the checkpoint (10k-row
+// base snapshot), replay a WAL tail of the given length, and rebuild both
+// views (materialization plus support counts) through the counted IVM
+// initialization. One iteration is one full Recover.
+func BenchmarkWALRecover(b *testing.B) {
+	const n = 10000
+	for _, tail := range []int{0, 1000, 10000} {
+		tail := tail
+		b.Run(fmt.Sprintf("tail=%d", tail), func(b *testing.B) {
+			dir := b.TempDir()
+			db, bt, err := bench.SetupBatchedDMLDurable(n, 64, 1, dir, birds.SyncOff)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < tail; i++ {
+				if err := bench.BatchedDMLTxn(bt, n, i+1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := bt.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Close(); err != nil {
+				b.Fatal(err)
+			}
+			// Recovery itself checkpoints and truncates the log, so every
+			// iteration restores the crashed-state directory image first
+			// (outside the timer).
+			image := readDirImage(b, dir)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				restoreDirImage(b, dir, image)
+				b.StartTimer()
+				rec, _, err := birds.Recover(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := rec.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+func readDirImage(b *testing.B, dir string) map[string][]byte {
+	b.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	image := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		image[e.Name()] = data
+	}
+	return image
+}
+
+func restoreDirImage(b *testing.B, dir string, image map[string][]byte) {
+	b.Helper()
+	if err := os.RemoveAll(dir); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		b.Fatal(err)
+	}
+	for name, data := range image {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

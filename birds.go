@@ -42,6 +42,7 @@ import (
 	"birds/internal/sat"
 	"birds/internal/sqlgen"
 	"birds/internal/value"
+	"birds/internal/wal"
 )
 
 // Re-exported language and engine types. The aliases make the full
@@ -87,7 +88,45 @@ type (
 	Batcher = engine.Batcher
 	// BatchOptions configures a Batcher's flush triggers.
 	BatchOptions = engine.BatchOptions
+	// DurabilityOptions configures DB.EnableDurability: the write-ahead-log
+	// directory, the fsync mode, and the automatic checkpoint cadence.
+	DurabilityOptions = engine.DurabilityOptions
+	// RecoverStats summarizes a Recover: loaded checkpoint LSN, last
+	// replayed LSN, records replayed, and whether a torn tail was skipped.
+	RecoverStats = engine.RecoverStats
+	// SyncMode selects when the write-ahead log is fsynced.
+	SyncMode = wal.SyncMode
 )
+
+// Write-ahead-log fsync modes.
+const (
+	// SyncOff never fsyncs the log (crash durability up to the OS page
+	// cache only; the record stream is still torn-tail safe).
+	SyncOff = wal.SyncOff
+	// SyncOnCommit fsyncs every record — full per-transaction durability.
+	SyncOnCommit = wal.SyncOnCommit
+	// SyncOnFlush fsyncs group-commit flush records only, amortizing one
+	// fsync across the whole batch; direct transactions ride along with the
+	// next synced record.
+	SyncOnFlush = wal.SyncOnFlush
+)
+
+// DefaultCheckpointEvery is the automatic-checkpoint record cadence used
+// when DurabilityOptions.CheckpointEvery is 0.
+const DefaultCheckpointEvery = engine.DefaultCheckpointEvery
+
+// ParseSyncMode parses "off", "commit" or "flush" into a SyncMode.
+var ParseSyncMode = wal.ParseSyncMode
+
+// HasDurableState reports whether dir holds recoverable durable state:
+// true means open it with Recover, false means DB.EnableDurability is safe.
+var HasDurableState = engine.HasDurableState
+
+// Recover rebuilds a database from the durable state in dir: latest valid
+// checkpoint, WAL-tail replay (skipping a torn trailing record, erroring on
+// mid-log corruption), and view re-derivation from base state. The returned
+// engine has durability re-enabled on dir.
+func Recover(dir string) (*DB, RecoverStats, error) { return engine.Recover(dir) }
 
 // DefaultBatchSize is the batch-size trigger used when
 // BatchOptions.MaxTxns is 0.

@@ -11,12 +11,19 @@
 //	birds> \show r1
 //
 // Commands: \tables, \show REL, \sql VIEW, \explain VIEW, \csv TABLE FILE,
-// \view FILE [inc], \beginview/\endview [inc], \flush, \help, \quit.
+// \view FILE [inc], \beginview/\endview [inc], \flush, \checkpoint, \help,
+// \quit.
 //
 // With -batch-size and/or -flush-interval, table DML goes through the
 // group-commit write pipeline: transactions stage until the batch flushes
 // (size or interval trigger, \flush, or a view-targeted statement) and
 // then propagate into the materialized views as one maintenance pass.
+//
+// With -durable DIR the session writes a crash-consistent write-ahead log:
+// a fresh directory starts empty, a directory holding durable state from a
+// previous session (clean exit or crash) is recovered — checkpoint load
+// plus WAL replay — before the prompt appears. -fsync picks the sync mode
+// (off, commit, flush) and \checkpoint forces a snapshot checkpoint.
 package main
 
 import (
@@ -35,9 +42,43 @@ func main() {
 		"group-commit batch size: flush after this many transactions (0 disables batching unless -flush-interval is set; with batching on, 0 means the default size)")
 	flushInterval := flag.Duration("flush-interval", 0,
 		"flush a non-empty batch this long after its first admission (0 disables the interval trigger)")
+	durable := flag.String("durable", "",
+		"write-ahead-log directory: log every committed write for crash recovery, recovering first if the directory already holds durable state")
+	fsync := flag.String("fsync", "commit",
+		"WAL fsync mode with -durable: off, commit (every record), or flush (group-commit flush records only)")
 	flag.Parse()
 
-	db := birds.NewDB()
+	var db *birds.DB
+	if *durable != "" {
+		syncMode, err := birds.ParseSyncMode(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "birds-shell:", err)
+			os.Exit(2)
+		}
+		if birds.HasDurableState(*durable) {
+			rec, stats, err := birds.Recover(*durable)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "birds-shell: recover:", err)
+				os.Exit(1)
+			}
+			db = rec
+			fmt.Printf("recovered %s: checkpoint lsn=%d, %d record(s) replayed", *durable, stats.CheckpointLSN, stats.Replayed)
+			if stats.TornTail {
+				fmt.Print(", torn tail skipped")
+			}
+			fmt.Println()
+		} else {
+			db = birds.NewDB()
+			if err := db.EnableDurability(birds.DurabilityOptions{Dir: *durable, Sync: syncMode}); err != nil {
+				fmt.Fprintln(os.Stderr, "birds-shell:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("durability enabled (dir=%s, fsync=%s)\n", *durable, syncMode)
+		}
+	} else {
+		db = birds.NewDB()
+	}
+	defer db.Close()
 	if *batchSize != 0 || *flushInterval > 0 {
 		db.SetBatching(birds.BatchOptions{MaxTxns: *batchSize, FlushInterval: *flushInterval})
 		fmt.Printf("batching enabled (batch-size=%d, flush-interval=%s); \\flush forces a flush\n",
@@ -121,7 +162,18 @@ commands:
   \sql VIEW          print the compiled SQL program
   \explain VIEW      print the strategy's query plans
   \flush             flush the pending group-commit batch (see -batch-size)
+  \checkpoint        write a snapshot checkpoint and truncate the WAL (see -durable)
   \quit`)
+		return nil
+	case `\checkpoint`:
+		if !db.Durable() {
+			fmt.Println("durability is not enabled (start the shell with -durable DIR)")
+			return nil
+		}
+		if err := db.Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint written (lsn=%d)\n", db.LastLSN())
 		return nil
 	case `\flush`:
 		if !db.Batching() {
@@ -134,6 +186,7 @@ commands:
 		fmt.Println("batch flushed")
 		return nil
 	case `\quit`, `\q`:
+		db.Close()
 		os.Exit(0)
 	case `\beginview`:
 		*viewInc = len(fields) > 1 && fields[1] == "inc"

@@ -9,18 +9,26 @@
 // With -batch-size (and optionally -flush-interval) a single configuration
 // runs instead of the sweep — the same knobs cmd/birds-shell exposes, so
 // the whole pipeline is reachable end-to-end from the command line.
+//
+// -durable attaches a write-ahead log to every measured configuration
+// (each gets a fresh subdirectory), and -fsync picks the sync mode, so the
+// durability tax of each mode is measurable against the in-memory numbers:
+//
+//	$ go run ./cmd/dmlbench -durable /tmp/walbench -fsync flush
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"birds/internal/bench"
 	"birds/internal/engine"
+	"birds/internal/wal"
 )
 
 func main() {
@@ -31,8 +39,16 @@ func main() {
 		sizesArg   = flag.String("batch-sizes", "1,8,64,512", "comma-separated batch sizes to sweep")
 		batchSize  = flag.Int("batch-size", 0, "run a single batch size instead of the sweep")
 		flushEvery = flag.Duration("flush-interval", 0, "interval flush trigger for the single-configuration run (0 = size trigger only)")
+		durable    = flag.String("durable", "", "write-ahead-log directory: attach a WAL to every configuration (each batch size logs into its own subdirectory)")
+		fsync      = flag.String("fsync", "flush", "WAL fsync mode with -durable: off, commit, or flush")
 	)
 	flag.Parse()
+
+	syncMode, err := wal.ParseSyncMode(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmlbench:", err)
+		os.Exit(2)
+	}
 
 	txn := bench.BatchedDMLTxn
 	switch *stream {
@@ -58,11 +74,16 @@ func main() {
 		}
 	}
 
-	fmt.Printf("dmlbench: n=%d writes=%d stream=%s\n", *n, *writes, *stream)
+	if *durable != "" {
+		fmt.Printf("dmlbench: n=%d writes=%d stream=%s durable=%s fsync=%s\n",
+			*n, *writes, *stream, *durable, syncMode)
+	} else {
+		fmt.Printf("dmlbench: n=%d writes=%d stream=%s\n", *n, *writes, *stream)
+	}
 	fmt.Printf("%-12s %14s %14s\n", "batch", "ns/write", "writes/s")
 	var base float64
 	for _, bs := range sizes {
-		perWrite, err := run(*n, *writes, bs, *flushEvery, txn)
+		perWrite, err := run(*n, *writes, bs, *flushEvery, txn, *durable, syncMode)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmlbench:", err)
 			os.Exit(1)
@@ -77,12 +98,25 @@ func main() {
 
 // run measures one configuration: writes transactions through a fresh
 // fixture and batcher, returning the amortized ns per write (final flush
-// included).
-func run(n, writes, batch int, flushEvery time.Duration, txn func(*engine.Batcher, int, int) error) (float64, error) {
-	db, bt, err := bench.SetupBatchedDML(n, batch, 1)
+// included). With durableDir set, the fixture logs into a per-batch-size
+// subdirectory so the sweep's configurations don't share a WAL.
+func run(n, writes, batch int, flushEvery time.Duration, txn func(*engine.Batcher, int, int) error, durableDir string, sync wal.SyncMode) (float64, error) {
+	var db *engine.DB
+	var bt *engine.Batcher
+	var err error
+	if durableDir != "" {
+		dir := filepath.Join(durableDir, fmt.Sprintf("batch%d", batch))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return 0, err
+		}
+		db, bt, err = bench.SetupBatchedDMLDurable(n, batch, 1, dir, sync)
+	} else {
+		db, bt, err = bench.SetupBatchedDML(n, batch, 1)
+	}
 	if err != nil {
 		return 0, err
 	}
+	defer db.Close()
 	if flushEvery > 0 {
 		bt.Close()
 		bt = db.Batch(engine.BatchOptions{MaxTxns: batch, FlushInterval: flushEvery})

@@ -7,6 +7,7 @@ import (
 	"birds/internal/datalog"
 	"birds/internal/engine"
 	"birds/internal/value"
+	"birds/internal/wal"
 )
 
 // DML-maintenance benchmark fixture: a base table of parameterizable size
@@ -205,6 +206,23 @@ func BatchedDMLTxn(bt *engine.Batcher, n, i int) error {
 		engine.Insert("items", ints(id), str(fmt.Sprintf("hot%d", id)), ints(1500)),
 		engine.Delete("items", engine.Eq("iid", ints(id-1))),
 	)
+}
+
+// SetupBatchedDMLDurable is SetupBatchedDML with a write-ahead log attached
+// in the given sync mode after the fixture is built — the bulk loads, view
+// registrations and warm-up are not part of the measured stream, so every
+// measured admission/flush pays exactly the configured durability cost.
+// Automatic checkpoints are disabled: the benchmark isolates the per-record
+// append/fsync cost (and leaves a log tail for the recovery benchmark).
+func SetupBatchedDMLDurable(n, batch int, seed int64, dir string, sync wal.SyncMode) (*engine.DB, *engine.Batcher, error) {
+	db, bt, err := SetupBatchedDML(n, batch, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := db.EnableDurability(engine.DurabilityOptions{Dir: dir, Sync: sync, CheckpointEvery: -1}); err != nil {
+		return nil, nil, err
+	}
+	return db, bt, nil
 }
 
 // BatchedDMLWindowTxn admits steady-state write transaction i (i >= 1) of

@@ -10,6 +10,7 @@ import (
 	"birds/internal/datalog"
 	"birds/internal/eval"
 	"birds/internal/value"
+	"birds/internal/wal"
 )
 
 // errBatcherClosed is returned by a closed Batcher handle; DB.Exec routing
@@ -243,42 +244,66 @@ func (b *Batcher) flushLocked() error {
 	db := b.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
+
+	// Phase 1 (read-only): make the staged deltas exact against the current
+	// store, pruning rows a direct writer preempted between admission and
+	// flush (a staged delete of a row no longer present, a staged insert of
+	// a row now present). In the common case nothing is pruned and the
+	// staged relations themselves become the delta (the stage gets fresh
+	// ones below). The store is not touched yet: the WAL record must be
+	// appended before any effect becomes visible, and a failed append must
+	// leave both the store and the staged batch exactly as they were.
 	changed := make(map[string]eval.Delta, len(names))
+	var pruned []value.Tuple
 	for _, n := range names {
 		arity := b.staged[n]
-		p := datalog.Pred(n)
-		// Apply the staged rows, re-checking each against the store so the
-		// delta handed to view maintenance is exact even if a direct writer
-		// interleaved between admission and flush. In the common case every
-		// row applies and the staged relations themselves become the delta
-		// (the stage gets fresh ones below); only rows a direct writer
-		// preempted are pruned.
+		rel := db.store.RelOrEmpty(datalog.Pred(n), arity)
 		ins := b.stage.RelOrEmpty(datalog.Ins(n), arity)
 		del := b.stage.RelOrEmpty(datalog.Del(n), arity)
-		var failed []value.Tuple
+		pruned = pruned[:0]
 		del.Each(func(t value.Tuple) {
-			if !db.store.Delete(p, t) {
-				failed = append(failed, t)
+			if !rel.Contains(t) {
+				pruned = append(pruned, t)
 			}
 		})
-		for _, t := range failed {
+		for _, t := range pruned {
 			del.Remove(t)
 		}
-		failed = failed[:0]
+		pruned = pruned[:0]
 		ins.Each(func(t value.Tuple) {
-			if !db.store.Insert(p, t) {
-				failed = append(failed, t)
+			if rel.Contains(t) {
+				pruned = append(pruned, t)
 			}
 		})
-		for _, t := range failed {
+		for _, t := range pruned {
 			ins.Remove(t)
 		}
 		if !ins.Empty() || !del.Empty() {
 			changed[n] = eval.Delta{Ins: ins, Del: del}
 		}
-		// Reset the staged relations through Update, which keeps their hot
-		// probe indexes alive (rebuilt over the empty relation) for the
-		// next batch's admissions. The old relations live on as the delta.
+	}
+
+	// Phase 2: one WAL record for the whole batch (this is where the
+	// group-commit fsync amortization happens — one sync per batch, not per
+	// transaction). On failure the batch stays staged and the store is
+	// untouched; the caller sees the error and nothing was acknowledged, so
+	// a later flush can retry the identical batch.
+	if err := db.logWrite(wal.KindBatch, db.walTableDeltas(changed)); err != nil {
+		return err
+	}
+
+	// Phase 3: apply. Every row applies by construction (phase 1 checked it
+	// against the store, which no one has touched since — we hold the write
+	// lock). Then reset the staged relations through Update, which keeps
+	// their hot probe indexes alive (rebuilt over the empty relation) for
+	// the next batch's admissions; the old relations live on as the delta.
+	for _, n := range names {
+		arity := b.staged[n]
+		p := datalog.Pred(n)
+		if d, ok := changed[n]; ok {
+			d.Del.Each(func(t value.Tuple) { db.store.Delete(p, t) })
+			d.Ins.Each(func(t value.Tuple) { db.store.Insert(p, t) })
+		}
 		b.stage.Update(datalog.Ins(n), value.NewRelation(arity))
 		b.stage.Update(datalog.Del(n), value.NewRelation(arity))
 	}
@@ -287,6 +312,7 @@ func (b *Batcher) flushLocked() error {
 	if len(changed) > 0 {
 		db.maintainViews(changed, nil)
 	}
+	db.autoCheckpointLocked()
 	return nil
 }
 

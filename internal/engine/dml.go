@@ -7,6 +7,7 @@ import (
 	"birds/internal/datalog"
 	"birds/internal/eval"
 	"birds/internal/value"
+	"birds/internal/wal"
 )
 
 // StmtKind discriminates DML statements.
@@ -163,15 +164,27 @@ func (db *DB) execTable(name string, stmts []Statement) error {
 	match := func(where []Condition) ([]value.Tuple, error) {
 		return db.matchRows(name, decl, where)
 	}
-	if err := runTableStmts(name, decl, stmts, match, insert, remove); err != nil {
-		// Roll the applied part of the delta back: atomicity.
+	rollback := func() {
 		d.Ins.Each(func(r value.Tuple) { db.store.Delete(p, r) })
 		d.Del.Each(func(r value.Tuple) { db.store.Insert(p, r) })
+	}
+	if err := runTableStmts(name, decl, stmts, match, insert, remove); err != nil {
+		// Roll the applied part of the delta back: atomicity.
+		rollback()
 		return err
 	}
-	if !d.Empty() {
-		db.maintainViews(map[string]eval.Delta{name: d}, nil)
+	if d.Empty() {
+		return nil
 	}
+	// One WAL record per direct transaction, before the write is
+	// acknowledged. A failed append unwinds the store: the transaction must
+	// not survive in memory when it cannot survive a crash.
+	if err := db.logWrite(wal.KindTxn, walTxnDelta(name, decl.Arity(), d)); err != nil {
+		rollback()
+		return err
+	}
+	db.maintainViews(map[string]eval.Delta{name: d}, nil)
+	db.autoCheckpointLocked()
 	return nil
 }
 
@@ -504,7 +517,20 @@ func (db *DB) applyPlan(pl *plan) error {
 			keep[n] = true // maintained exactly by the plan
 		}
 	}
+	// One WAL record for the whole view-targeted transaction, holding only
+	// its base-table deltas (view rows are derived state — recovery
+	// re-materializes them from the recovered base tables). A failed append
+	// unwinds everything the plan applied, views included.
+	if err := db.logWrite(wal.KindTxn, db.walTableDeltas(changed)); err != nil {
+		for n, d := range changed {
+			p := datalog.Pred(n)
+			d.Ins.Each(func(t value.Tuple) { db.store.Delete(p, t) })
+			d.Del.Each(func(t value.Tuple) { db.store.Insert(p, t) })
+		}
+		return err
+	}
 	db.maintainViews(changed, keep)
+	db.autoCheckpointLocked()
 	return nil
 }
 

@@ -1,0 +1,483 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"birds/internal/datalog"
+	"birds/internal/eval"
+	"birds/internal/value"
+	"birds/internal/wal"
+)
+
+// This file wires the write-ahead log (internal/wal) into the engine's
+// write paths, giving the in-memory database crash-consistent durability:
+//
+//   - every point at which writes become visible appends one WAL record
+//     BEFORE the write is acknowledged: execTable (one record per direct
+//     transaction), applyPlan (one record per view-targeted transaction,
+//     holding the base-table deltas its putback cascade produced),
+//     Batcher.flushLocked (ONE record per group-commit batch, so the fsync
+//     is amortized across the batch exactly like the maintenance pass),
+//     and LoadTable (a bulk-load record);
+//   - a failed append leaves the store untouched (the hook sites roll
+//     back) and the write reports an error — the WAL never acknowledges a
+//     write the store didn't take, and the store never keeps a write the
+//     WAL didn't take;
+//   - periodic checkpoints snapshot the base tables plus the DDL catalog
+//     and truncate the log; views and their support counts are NOT
+//     checkpointed — Recover re-derives them from base state through the
+//     counted IVM initialization;
+//   - Recover loads the latest valid checkpoint, replays the WAL tail
+//     (skipping a torn trailing record, erroring on mid-log corruption)
+//     and leaves the engine identical to an uninterrupted run over the
+//     same acknowledged prefix of writes.
+//
+// All WAL appends happen under the engine write lock, which is what makes
+// log order identical to commit order without any extra coordination.
+
+// DefaultCheckpointEvery is the automatic-checkpoint trigger used when
+// DurabilityOptions.CheckpointEvery is 0: a snapshot is taken (and the log
+// truncated) after this many WAL records.
+const DefaultCheckpointEvery = 4096
+
+// DurabilityOptions configures EnableDurability.
+type DurabilityOptions struct {
+	// Dir is the durability directory (WAL + checkpoints). Created if
+	// absent; must not already hold durable state (recover that with
+	// Recover instead).
+	Dir string
+	// Sync selects when the WAL is fsynced: wal.SyncOff (never),
+	// wal.SyncOnCommit (every record) or wal.SyncOnFlush (group-commit
+	// flush records only, amortizing one fsync across the batch).
+	Sync wal.SyncMode
+	// CheckpointEvery is the number of WAL records between automatic
+	// checkpoints. 0 selects DefaultCheckpointEvery; negative disables
+	// automatic checkpoints (explicit Checkpoint only).
+	CheckpointEvery int
+}
+
+// durability is the engine-side durability state, guarded by db.mu (every
+// write path already holds the write lock at its WAL hook).
+type durability struct {
+	log       *wal.Log
+	opts      DurabilityOptions
+	sinceCkpt int   // records appended since the last checkpoint
+	ckptErr   error // last automatic-checkpoint failure (retried, surfaced by Checkpoint)
+}
+
+// EnableDurability opens a write-ahead log in opts.Dir and takes an
+// initial checkpoint of the current state (catalog plus base tables), so
+// every subsequent write is recoverable. The directory must not already
+// contain durable state — re-open that with Recover, which replays it.
+func (db *DB) EnableDurability(opts DurabilityOptions) error {
+	if opts.Dir == "" {
+		return fmt.Errorf("engine: durability requires a directory")
+	}
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = DefaultCheckpointEvery
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.dur != nil {
+		return fmt.Errorf("engine: durability already enabled (dir %s)", db.dur.opts.Dir)
+	}
+	if hasDurableState(opts.Dir) {
+		return fmt.Errorf("engine: %s already holds durable state; use Recover", opts.Dir)
+	}
+	log, err := wal.Open(opts.Dir, 1)
+	if err != nil {
+		return err
+	}
+	db.dur = &durability{log: log, opts: opts}
+	if err := db.checkpointLocked(); err != nil {
+		db.dur = nil
+		log.Close()
+		return fmt.Errorf("engine: initial checkpoint: %w", err)
+	}
+	return nil
+}
+
+// HasDurableState reports whether dir holds recoverable durable state (a
+// checkpoint or a non-empty WAL): true means open the directory with
+// Recover, false means a fresh EnableDurability is safe.
+func HasDurableState(dir string) bool { return hasDurableState(dir) }
+
+// hasDurableState reports whether dir holds a checkpoint or a non-empty
+// WAL (an unreadable checkpoint also counts — refusing is the safe side).
+func hasDurableState(dir string) bool {
+	if ck, err := wal.LatestCheckpoint(dir); err != nil || ck != nil {
+		return true
+	}
+	if st, err := os.Stat(filepath.Join(dir, wal.LogName)); err == nil && st.Size() > 0 {
+		return true
+	}
+	return false
+}
+
+// Durable reports whether a write-ahead log is attached.
+func (db *DB) Durable() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.dur != nil
+}
+
+// LastLSN returns the log sequence number of the most recent WAL record
+// (0 when none, or when durability is off). Diagnostics and tests.
+func (db *DB) LastLSN() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.dur == nil {
+		return 0
+	}
+	return db.dur.log.LastLSN()
+}
+
+// WALLog exposes the attached log for fault injection in tests; nil when
+// durability is off.
+func (db *DB) WALLog() *wal.Log {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.dur == nil {
+		return nil
+	}
+	return db.dur.log
+}
+
+// DisableDurability syncs and detaches the write-ahead log. The directory
+// remains recoverable (checkpoint + log tail).
+func (db *DB) DisableDurability() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.dur == nil {
+		return nil
+	}
+	err := db.dur.log.Close()
+	db.dur = nil
+	return err
+}
+
+// Close flushes any pending batch, syncs and detaches the write-ahead log.
+// The DB remains usable as a purely in-memory engine afterwards.
+func (db *DB) Close() error {
+	berr := db.StopBatching()
+	derr := db.DisableDurability()
+	if berr != nil {
+		return berr
+	}
+	return derr
+}
+
+// Checkpoint snapshots the base tables and the DDL catalog, then truncates
+// the WAL. If an earlier automatic checkpoint failed, the error surfaces
+// here (the write it followed was durable regardless — the log still held
+// every record).
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.dur == nil {
+		return fmt.Errorf("engine: durability is not enabled")
+	}
+	if err := db.checkpointLocked(); err != nil {
+		return err
+	}
+	err := db.dur.ckptErr
+	db.dur.ckptErr = nil
+	return err
+}
+
+// checkpointLocked writes a snapshot at the current last LSN and truncates
+// the log. Must run under the write lock, at a point where the store
+// contains the effects of every appended record (never between an append
+// and its store apply).
+func (db *DB) checkpointLocked() error {
+	d := db.dur
+	ck := &wal.Checkpoint{
+		LSN:             d.log.LastLSN(),
+		Sync:            d.opts.Sync,
+		CheckpointEvery: d.opts.CheckpointEvery,
+		Parallelism:     db.parallelism,
+	}
+	if b := db.batcher.Load(); b != nil {
+		ck.Batching = &wal.BatchConfig{MaxTxns: b.opts.MaxTxns, FlushInterval: b.opts.FlushInterval}
+	}
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		decl := db.tables[n]
+		ts := wal.TableState{Name: n}
+		for _, a := range decl.Attrs {
+			ts.Attrs = append(ts.Attrs, wal.AttrState{Name: a.Name, Type: a.Type})
+		}
+		rel := db.store.RelOrEmpty(datalog.Pred(n), decl.Arity())
+		ts.Rows = make([]value.Tuple, 0, rel.Len())
+		rel.Each(func(t value.Tuple) { ts.Rows = append(ts.Rows, t) })
+		ck.Tables = append(ck.Tables, ts)
+	}
+	// Views in dependency order (sources first), so recovery can re-create
+	// them with every source already registered.
+	for _, n := range db.viewOrder {
+		v := db.views[n]
+		vs := wal.ViewState{Program: v.Strategy.Prog.String(), Incremental: v.Incremental}
+		for _, r := range v.Get {
+			vs.Get = append(vs.Get, r.String())
+		}
+		ck.Views = append(ck.Views, vs)
+	}
+	if err := wal.WriteCheckpoint(d.opts.Dir, ck); err != nil {
+		return err
+	}
+	if err := d.log.Truncate(); err != nil {
+		return err
+	}
+	d.sinceCkpt = 0
+	return nil
+}
+
+// logWrite appends one WAL record for a write that is about to be (or has
+// just been) applied to the store, fsyncing per the configured mode. It
+// must run under the engine write lock. On error nothing was appended; the
+// caller must roll its store changes back and fail the write.
+func (db *DB) logWrite(kind wal.Kind, tables []wal.TableDelta) error {
+	d := db.dur
+	if d == nil || len(tables) == 0 {
+		return nil
+	}
+	sync := false
+	switch d.opts.Sync {
+	case wal.SyncOnCommit:
+		sync = true
+	case wal.SyncOnFlush:
+		sync = kind == wal.KindBatch
+	}
+	if _, err := d.log.Append(kind, tables, sync); err != nil {
+		return fmt.Errorf("engine: wal append: %w", err)
+	}
+	d.sinceCkpt++
+	return nil
+}
+
+// autoCheckpointLocked takes a checkpoint when the record-count trigger is
+// due. It must run under the write lock, only after the store reflects
+// every appended record. A failure is retried on the next trigger and
+// surfaced by the next explicit Checkpoint — the writes themselves are
+// durable either way (the log still holds them).
+func (db *DB) autoCheckpointLocked() {
+	d := db.dur
+	if d == nil || d.opts.CheckpointEvery <= 0 || d.sinceCkpt < d.opts.CheckpointEvery {
+		return
+	}
+	if err := db.checkpointLocked(); err != nil {
+		d.ckptErr = err
+	}
+}
+
+// ddlCheckpointLocked persists a DDL change (CreateTable, CreateView) by
+// taking a checkpoint — the catalog lives in checkpoints, not in WAL
+// records. Must run under the write lock. Unlike automatic checkpoints the
+// error is returned: a DDL statement whose catalog entry is not durable
+// must fail (and be rolled back by the caller), or recovery would replay
+// row records against a relation it does not know.
+func (db *DB) ddlCheckpointLocked() error {
+	if db.dur == nil {
+		return nil
+	}
+	return db.checkpointLocked()
+}
+
+// walTxnDelta renders one table's net delta as a WAL record body.
+func walTxnDelta(name string, arity int, d eval.Delta) []wal.TableDelta {
+	return []wal.TableDelta{{Name: name, Arity: arity, Ins: d.Ins.Tuples(), Del: d.Del.Tuples()}}
+}
+
+// walTableDeltas renders the base-table subset of a changed-relations map
+// as a WAL record body, sorted by table name for determinism. View deltas
+// are excluded: views are derived state, rebuilt from base tables on
+// recovery.
+func (db *DB) walTableDeltas(changed map[string]eval.Delta) []wal.TableDelta {
+	names := make([]string, 0, len(changed))
+	for n := range changed {
+		if _, ok := db.tables[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	out := make([]wal.TableDelta, 0, len(names))
+	for _, n := range names {
+		d := changed[n]
+		out = append(out, wal.TableDelta{
+			Name:  n,
+			Arity: db.tables[n].Arity(),
+			Ins:   d.Ins.Tuples(),
+			Del:   d.Del.Tuples(),
+		})
+	}
+	return out
+}
+
+// --- recovery -------------------------------------------------------------
+
+// RecoverStats summarizes a recovery.
+type RecoverStats struct {
+	// CheckpointLSN is the LSN of the loaded checkpoint (0 for the initial
+	// one).
+	CheckpointLSN uint64
+	// LastLSN is the LSN of the last WAL record applied; LastLSN -
+	// CheckpointLSN records were replayed from the log tail.
+	LastLSN uint64
+	// Replayed counts the WAL records applied on top of the checkpoint.
+	Replayed int
+	// TornTail reports that the WAL ended in a torn (unacknowledged)
+	// record, which was skipped.
+	TornTail bool
+}
+
+// Recover rebuilds a database from the durable state in dir: it loads the
+// latest valid checkpoint, replays the WAL tail (skipping a torn trailing
+// record — an append the crashed process never acknowledged — and
+// erroring on mid-log corruption), re-creates the views from the
+// checkpointed catalog and re-derives their materializations AND support
+// counts from base state through the counted IVM initialization. The
+// returned engine has durability re-enabled on dir (with the checkpointed
+// sync mode and batching options restored) and is identical, relation for
+// relation and count for count, to an uninterrupted run over the same
+// acknowledged writes.
+func Recover(dir string) (*DB, RecoverStats, error) {
+	var stats RecoverStats
+	ck, err := wal.LatestCheckpoint(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	if ck == nil {
+		if st, serr := os.Stat(filepath.Join(dir, wal.LogName)); serr != nil || st.Size() == 0 {
+			return nil, stats, fmt.Errorf("engine: no durable state in %s", dir)
+		}
+		// A log without any checkpoint can only be the leftover of a crash
+		// inside EnableDurability, before the initial checkpoint landed;
+		// no write was ever acknowledged against it.
+		ck = &wal.Checkpoint{}
+	}
+	stats.CheckpointLSN = ck.LSN
+
+	db := NewDB()
+	if ck.Parallelism > 0 {
+		db.parallelism = ck.Parallelism
+	}
+
+	// Base tables: schema from the catalog, rows from the snapshot.
+	for _, ts := range ck.Tables {
+		decl := &datalog.RelDecl{Name: ts.Name}
+		for _, a := range ts.Attrs {
+			decl.Attrs = append(decl.Attrs, datalog.AttrDecl{Name: a.Name, Type: a.Type})
+		}
+		if err := db.CreateTable(decl); err != nil {
+			return nil, stats, fmt.Errorf("engine: recover table %q: %w", ts.Name, err)
+		}
+		p := datalog.Pred(ts.Name)
+		for _, row := range ts.Rows {
+			db.store.Insert(p, row)
+		}
+	}
+
+	// WAL tail: net row deltas on top of the checkpointed base state.
+	res, err := wal.Replay(dir, ck.LSN, func(rec *wal.Record) error {
+		for _, td := range rec.Tables {
+			decl, ok := db.tables[td.Name]
+			if !ok {
+				return fmt.Errorf("engine: wal record %d targets unknown table %q", rec.LSN, td.Name)
+			}
+			if decl.Arity() != td.Arity {
+				return fmt.Errorf("engine: wal record %d: table %q arity %d, catalog says %d",
+					rec.LSN, td.Name, td.Arity, decl.Arity())
+			}
+			p := datalog.Pred(td.Name)
+			for _, t := range td.Del {
+				db.store.Delete(p, t)
+			}
+			for _, t := range td.Ins {
+				db.store.Insert(p, t)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.LastLSN = res.Last
+	stats.Replayed = res.Replayed
+	stats.TornTail = res.TornTail
+
+	// Views: re-create from the catalog (validation already ran in the
+	// original session — the checkpointed get rules carry its result),
+	// then initialize the counting IVM over the recovered base state, so
+	// the engine resumes on the incremental path with exactly the support
+	// counts an uninterrupted run would hold.
+	for _, vs := range ck.Views {
+		prog, err := datalog.Parse(vs.Program)
+		if err != nil {
+			return nil, stats, fmt.Errorf("engine: recover view program: %w", err)
+		}
+		var get []*datalog.Rule
+		for _, g := range vs.Get {
+			r, err := datalog.ParseRule(g)
+			if err != nil {
+				return nil, stats, fmt.Errorf("engine: recover get rule %q: %w", g, err)
+			}
+			get = append(get, r)
+		}
+		if _, err := db.CreateViewFromProgram(prog, ViewOptions{
+			SkipValidation: true,
+			ExpectedGet:    get,
+			Incremental:    vs.Incremental,
+		}); err != nil {
+			return nil, stats, fmt.Errorf("engine: recover view: %w", err)
+		}
+	}
+	for _, n := range db.viewOrder {
+		v := db.views[n]
+		if _, err := v.getEval.EvalDelta(db.store, nil); err != nil {
+			// Counted init failed; leave the view on the full-refresh
+			// fallback (it is already materialized and clean).
+			v.getEval.InvalidateIVM()
+			continue
+		}
+		for _, w := range v.getOverlap {
+			w.getEval.InvalidateIVM()
+		}
+	}
+
+	// Group-commit routing comes back before the fresh checkpoint below, so
+	// the new checkpoint carries the batching config forward to the next
+	// recovery.
+	if ck.Batching != nil {
+		db.SetBatching(BatchOptions{MaxTxns: ck.Batching.MaxTxns, FlushInterval: ck.Batching.FlushInterval})
+	}
+
+	// Re-attach the log where the replay ended and take a fresh
+	// checkpoint: the torn tail (if any) is discarded for good, and the
+	// next crash recovers from here.
+	opts := DurabilityOptions{Dir: dir, Sync: ck.Sync, CheckpointEvery: ck.CheckpointEvery}
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = DefaultCheckpointEvery
+	}
+	log, err := wal.Open(dir, res.Last+1)
+	if err != nil {
+		return nil, stats, err
+	}
+	db.mu.Lock()
+	db.dur = &durability{log: log, opts: opts}
+	if err := db.checkpointLocked(); err != nil {
+		db.dur = nil
+		db.mu.Unlock()
+		log.Close()
+		return nil, stats, fmt.Errorf("engine: post-recovery checkpoint: %w", err)
+	}
+	db.mu.Unlock()
+
+	return db, stats, nil
+}

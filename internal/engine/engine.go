@@ -23,6 +23,7 @@ import (
 	"birds/internal/eval"
 	"birds/internal/sat"
 	"birds/internal/value"
+	"birds/internal/wal"
 )
 
 // DB is an in-memory relational database with updatable views. All public
@@ -43,6 +44,12 @@ type DB struct {
 	// pipeline (batch.go). Atomic so Exec can read it without taking the
 	// engine lock (the batcher has its own lock discipline).
 	batcher atomic.Pointer[Batcher]
+
+	// dur, when non-nil, is the crash-durability state (durable.go): the
+	// attached write-ahead log and checkpoint policy. Guarded by mu — every
+	// write path holds the write lock at its WAL hook, which is what makes
+	// log order identical to commit order.
+	dur *durability
 }
 
 // View is a registered updatable view: its schema, validated strategy
@@ -129,6 +136,13 @@ func (db *DB) CreateTable(decl *datalog.RelDecl) error {
 	}
 	db.tables[decl.Name] = decl
 	db.store.Ensure(datalog.Pred(decl.Name), decl.Arity())
+	// DDL lives in checkpoints, not WAL records: a new table must be in the
+	// durable catalog before any row record can target it. A table the
+	// catalog cannot hold cannot exist.
+	if err := db.ddlCheckpointLocked(); err != nil {
+		delete(db.tables, decl.Name)
+		return fmt.Errorf("engine: create table %q: %w", decl.Name, err)
+	}
 	return nil
 }
 
@@ -271,6 +285,15 @@ func (db *DB) CreateViewFromProgram(prog *datalog.Program, opts ViewOptions) (*V
 		return nil, err
 	}
 	db.registerMaintenance(v)
+	// Persist the catalog change (view program, validated get rules,
+	// maintenance mode) before acknowledging the DDL; roll the registration
+	// back if it cannot be made durable.
+	if err := db.ddlCheckpointLocked(); err != nil {
+		delete(db.views, name)
+		delete(db.dirty, name)
+		db.unregisterMaintenance(v)
+		return nil, fmt.Errorf("engine: create view %q: %w", name, err)
+	}
 	return v, nil
 }
 
@@ -518,11 +541,30 @@ func (db *DB) LoadTable(name string, rows []value.Tuple) error {
 		}
 	}
 	p := datalog.Pred(name)
+	inserted := make([]value.Tuple, 0, len(rows))
 	for _, r := range rows {
-		db.store.Insert(p, r)
+		if db.store.Insert(p, r) {
+			inserted = append(inserted, r)
+		}
+	}
+	// One bulk-load WAL record for the whole load (rows already present are
+	// excluded — replaying the record from the pre-load state reproduces
+	// exactly the membership change the load made). The stale-view fallback
+	// below and the WAL cannot disagree: a bulk load marks dependent views
+	// dirty for a full refresh from base state, and recovery likewise
+	// rebuilds every view from the recovered base state, so a crash at any
+	// point yields the same refreshed views an uninterrupted run would.
+	if len(inserted) > 0 {
+		if err := db.logWrite(wal.KindBulkLoad, []wal.TableDelta{{Name: name, Arity: decl.Arity(), Ins: inserted}}); err != nil {
+			for _, r := range inserted {
+				db.store.Delete(p, r)
+			}
+			return err
+		}
 	}
 	changed := map[string]bool{name: true}
 	db.markDependentsDirty(changed, nil)
+	db.autoCheckpointLocked()
 	return nil
 }
 

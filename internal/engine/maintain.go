@@ -42,7 +42,13 @@ func (db *DB) registerMaintenance(v *View) {
 		}
 	}
 
-	// Topological order over view sources, ties broken by name.
+	db.rebuildViewOrder()
+}
+
+// rebuildViewOrder recomputes the dependency-ordered view list: topological
+// order over view sources, ties broken by name. Must run under the write
+// lock.
+func (db *DB) rebuildViewOrder() {
 	names := make([]string, 0, len(db.views))
 	for n := range db.views {
 		names = append(names, n)
@@ -66,6 +72,28 @@ func (db *DB) registerMaintenance(v *View) {
 		visit(n)
 	}
 	db.viewOrder = order
+}
+
+// unregisterMaintenance reverses registerMaintenance for a view whose
+// registration is being rolled back (a failed DDL checkpoint must not leave
+// a view the durable catalog does not know): it strips v from every
+// sibling's overlap lists and rebuilds the dependency order. Must run under
+// the write lock, after v was removed from db.views.
+func (db *DB) unregisterMaintenance(v *View) {
+	drop := func(list []*View) []*View {
+		out := list[:0]
+		for _, w := range list {
+			if w != v {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	for _, w := range db.views {
+		w.getOverlap = drop(w.getOverlap)
+		w.allOverlap = drop(w.allOverlap)
+	}
+	db.rebuildViewOrder()
 }
 
 // maintainViews propagates the net deltas of changed relations into the

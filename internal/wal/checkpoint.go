@@ -1,0 +1,297 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"birds/internal/value"
+)
+
+// A checkpoint is an atomic snapshot of everything the log's row deltas are
+// relative to: the DDL catalog (base-table schemas, view putback programs
+// with their validated get rules, batching and durability options) and the
+// full contents of every base table, stamped with the LSN of the last log
+// record whose effects it includes. Materialized views and their support
+// counts are deliberately absent: recovery re-derives them from base state
+// through the counted initialization, proving the IVM layer a pure function
+// of the base tables (and keeping checkpoints proportional to base data,
+// not base + derived data).
+//
+// File layout: magic, then the same binary encoding as log records, then a
+// trailing CRC32-Castagnoli over everything before it. Checkpoints are
+// written to a temp file, fsynced, renamed into place
+// (checkpoint-<LSN 16-hex>.ckpt) and the directory fsynced — a crash
+// leaves either the old generation or the complete new one, never a
+// partial file under the live name.
+
+// Checkpoint is a decoded snapshot.
+type Checkpoint struct {
+	// LSN is the sequence number of the last log record included in the
+	// snapshot; recovery replays records with larger LSNs only.
+	LSN uint64
+
+	Tables []TableState
+	Views  []ViewState
+
+	// Batching, when non-nil, restores group-commit routing (DB.SetBatching)
+	// on recovery.
+	Batching *BatchConfig
+	// Sync and CheckpointEvery restore the durability options on recovery.
+	Sync            SyncMode
+	CheckpointEvery int
+	// Parallelism restores the engine's evaluator worker budget (0 = the
+	// engine default, i.e. sequential until SetParallelism is called).
+	Parallelism int
+}
+
+// TableState is one base table: schema and full contents.
+type TableState struct {
+	Name  string
+	Attrs []AttrState
+	Rows  []value.Tuple
+}
+
+// AttrState is one attribute of a checkpointed table schema.
+type AttrState struct {
+	Name string
+	Type string
+}
+
+// ViewState is one registered view, as re-creatable DDL: the putback
+// program source, the validated get rules (so recovery skips re-running
+// the validation oracle), and the maintenance mode.
+type ViewState struct {
+	Program     string   // putback program in concrete syntax
+	Get         []string // validated get rules in concrete syntax
+	Incremental bool
+}
+
+// BatchConfig mirrors engine.BatchOptions without importing the engine
+// (which imports this package).
+type BatchConfig struct {
+	MaxTxns       int
+	FlushInterval time.Duration
+}
+
+const (
+	ckptMagic  = "BIRDSCKPT\x01"
+	ckptSuffix = ".ckpt"
+	ckptPrefix = "checkpoint-"
+	tmpSuffix  = ".tmp"
+)
+
+// ckptName renders the live file name of a checkpoint at lsn; the 16-hex
+// zero-padded LSN makes lexicographic order equal LSN order.
+func ckptName(lsn uint64) string {
+	return fmt.Sprintf("%s%016x%s", ckptPrefix, lsn, ckptSuffix)
+}
+
+// WriteCheckpoint atomically persists ck into dir and removes older
+// checkpoint generations on success.
+func WriteCheckpoint(dir string, ck *Checkpoint) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	payload := encodeCheckpoint(ck)
+
+	tmp, err := os.CreateTemp(dir, ckptPrefix+"*"+tmpSuffix)
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(payload); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	live := filepath.Join(dir, ckptName(ck.LSN))
+	if err := os.Rename(tmpName, live); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	// The new generation is durable; older generations (and stray temp
+	// files) are redundant. Removal failures are ignored — stale files are
+	// skipped by LSN order on recovery.
+	for _, name := range checkpointFiles(dir) {
+		if name != ckptName(ck.LSN) {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+	return nil
+}
+
+// LatestCheckpoint loads the newest checkpoint in dir that decodes and
+// passes its checksum, falling back to older generations. It returns
+// (nil, nil) when dir holds no checkpoint at all — the empty-state
+// baseline; a dir whose every checkpoint is corrupt is an error.
+func LatestCheckpoint(dir string) (*Checkpoint, error) {
+	names := checkpointFiles(dir)
+	if len(names) == 0 {
+		return nil, nil
+	}
+	// Newest first: names embed the LSN zero-padded, so lexicographic
+	// descending is LSN descending.
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	var firstErr error
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ck, err := decodeCheckpoint(data)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("wal: checkpoint %s: %w", name, err)
+			}
+			continue
+		}
+		return ck, nil
+	}
+	return nil, fmt.Errorf("wal: no valid checkpoint in %s: %w", dir, firstErr)
+}
+
+// checkpointFiles lists the live checkpoint file names in dir (temp files
+// excluded), unsorted.
+func checkpointFiles(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, ckptPrefix) && strings.HasSuffix(name, ckptSuffix) {
+			if _, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix), 16, 64); err == nil {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// --- checkpoint encoding --------------------------------------------------
+
+func encodeCheckpoint(ck *Checkpoint) []byte {
+	buf := []byte(ckptMagic)
+	buf = binary.AppendUvarint(buf, ck.LSN)
+	buf = append(buf, byte(ck.Sync))
+	buf = binary.AppendUvarint(buf, uint64(ck.CheckpointEvery))
+	buf = binary.AppendVarint(buf, int64(ck.Parallelism))
+	if ck.Batching != nil {
+		buf = append(buf, 1)
+		buf = binary.AppendVarint(buf, int64(ck.Batching.MaxTxns))
+		buf = binary.AppendVarint(buf, int64(ck.Batching.FlushInterval))
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ck.Tables)))
+	for _, t := range ck.Tables {
+		buf = appendString(buf, t.Name)
+		buf = binary.AppendUvarint(buf, uint64(len(t.Attrs)))
+		for _, a := range t.Attrs {
+			buf = appendString(buf, a.Name)
+			buf = appendString(buf, a.Type)
+		}
+		buf = appendTuples(buf, t.Rows)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ck.Views)))
+	for _, v := range ck.Views {
+		buf = appendString(buf, v.Program)
+		buf = binary.AppendUvarint(buf, uint64(len(v.Get)))
+		for _, g := range v.Get {
+			buf = appendString(buf, g)
+		}
+		if v.Incremental {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+func decodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < len(ckptMagic)+4 {
+		return nil, errors.New("truncated checkpoint")
+	}
+	if string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, errors.New("bad checkpoint magic")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return nil, errors.New("checkpoint checksum mismatch")
+	}
+	d := &decoder{data: body, off: len(ckptMagic)}
+	ck := &Checkpoint{}
+	ck.LSN = d.uvarint()
+	ck.Sync = SyncMode(d.byte())
+	ck.CheckpointEvery = int(d.uvarint())
+	ck.Parallelism = int(d.varint())
+	if d.byte() == 1 {
+		ck.Batching = &BatchConfig{
+			MaxTxns:       int(d.varint()),
+			FlushInterval: time.Duration(d.varint()),
+		}
+	}
+	nt := int(d.uvarint())
+	for i := 0; i < nt && d.err == nil; i++ {
+		var t TableState
+		t.Name = d.string()
+		na := int(d.uvarint())
+		for j := 0; j < na && d.err == nil; j++ {
+			t.Attrs = append(t.Attrs, AttrState{Name: d.string(), Type: d.string()})
+		}
+		t.Rows = d.tuples(len(t.Attrs))
+		ck.Tables = append(ck.Tables, t)
+	}
+	nv := int(d.uvarint())
+	for i := 0; i < nv && d.err == nil; i++ {
+		var v ViewState
+		v.Program = d.string()
+		ng := int(d.uvarint())
+		for j := 0; j < ng && d.err == nil; j++ {
+			v.Get = append(v.Get, d.string())
+		}
+		v.Incremental = d.byte() == 1
+		ck.Views = append(ck.Views, v)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("%d trailing bytes in checkpoint", len(body)-d.off)
+	}
+	return ck, nil
+}

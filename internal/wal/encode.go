@@ -1,0 +1,209 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"birds/internal/value"
+)
+
+// Binary value encoding shared by log records and checkpoints. One byte of
+// kind tag, then a kind-specific payload:
+//
+//	null    (nothing)
+//	int     varint
+//	float   8 bytes IEEE-754 bits, little-endian
+//	string  uvarint length + bytes
+//	bool    1 byte
+//
+// A tuple is uvarint arity + values; a tuple list is uvarint count +
+// tuples. The encoding is exact (no float formatting round-trip) and
+// self-delimiting, so record payloads need no padding.
+
+const (
+	tagNull byte = iota
+	tagInt
+	tagFloat
+	tagString
+	tagBool
+	tagTrue // bool true folded into the tag; tagBool is false
+)
+
+var errTruncated = errors.New("wal: truncated payload")
+
+func appendValue(buf []byte, v value.Value) []byte {
+	switch v.Kind() {
+	case value.KindNull:
+		return append(buf, tagNull)
+	case value.KindInt:
+		buf = append(buf, tagInt)
+		return binary.AppendVarint(buf, v.AsInt())
+	case value.KindFloat:
+		buf = append(buf, tagFloat)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.AsFloat()))
+	case value.KindString:
+		buf = append(buf, tagString)
+		return appendString(buf, v.AsString())
+	case value.KindBool:
+		if v.AsBool() {
+			return append(buf, tagTrue)
+		}
+		return append(buf, tagBool)
+	default:
+		panic(fmt.Sprintf("wal: cannot encode value kind %s", v.Kind()))
+	}
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendTuple(buf []byte, t value.Tuple) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(t)))
+	for _, v := range t {
+		buf = appendValue(buf, v)
+	}
+	return buf
+}
+
+func appendTuples(buf []byte, ts []value.Tuple) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ts)))
+	for _, t := range ts {
+		buf = appendTuple(buf, t)
+	}
+	return buf
+}
+
+// decoder is a cursor over an encoded payload. The first error sticks; the
+// typed readers return zero values after it, so decode loops can run
+// unguarded and check err once.
+type decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.data) {
+		d.fail(errTruncated)
+		return 0
+	}
+	b := d.data[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.fail(errTruncated)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.off:])
+	if n <= 0 {
+		d.fail(errTruncated)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.data)-d.off) < n {
+		d.fail(errTruncated)
+		return ""
+	}
+	s := string(d.data[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *decoder) value() value.Value {
+	switch tag := d.byte(); tag {
+	case tagNull:
+		return value.Null()
+	case tagInt:
+		return value.Int(d.varint())
+	case tagFloat:
+		if d.err != nil {
+			return value.Null()
+		}
+		if len(d.data)-d.off < 8 {
+			d.fail(errTruncated)
+			return value.Null()
+		}
+		bits := binary.LittleEndian.Uint64(d.data[d.off:])
+		d.off += 8
+		return value.Float(math.Float64frombits(bits))
+	case tagString:
+		return value.Str(d.string())
+	case tagBool:
+		return value.Bool(false)
+	case tagTrue:
+		return value.Bool(true)
+	default:
+		if d.err == nil {
+			d.fail(fmt.Errorf("wal: unknown value tag %d", tag))
+		}
+		return value.Null()
+	}
+}
+
+func (d *decoder) tuple(arity int) value.Tuple {
+	n := int(d.uvarint())
+	if d.err != nil {
+		return nil
+	}
+	if n != arity {
+		d.fail(fmt.Errorf("wal: tuple arity %d, relation declares %d", n, arity))
+		return nil
+	}
+	t := make(value.Tuple, n)
+	for i := 0; i < n; i++ {
+		t[i] = d.value()
+	}
+	return t
+}
+
+func (d *decoder) tuples(arity int) []value.Tuple {
+	n := int(d.uvarint())
+	if d.err != nil {
+		return nil
+	}
+	if n > len(d.data)-d.off { // each tuple costs ≥ 1 byte
+		d.fail(errTruncated)
+		return nil
+	}
+	out := make([]value.Tuple, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, d.tuple(arity))
+	}
+	return out
+}

@@ -1,0 +1,467 @@
+// Package wal is the crash-consistency substrate of the engine: an
+// appending, length-prefixed, CRC32-checksummed log of net row deltas
+// (write-ahead log) plus atomic snapshot checkpoints of the base tables and
+// the DDL catalog. Together they give the in-memory engine a durability
+// contract:
+//
+//   - every point at which writes become visible — a direct transaction
+//     commit, a group-commit batch flush, a bulk load — appends exactly one
+//     record *before* the write is acknowledged;
+//   - a checkpoint captures base tables and catalog at a log sequence
+//     number (LSN), after which the log can be truncated; materialized
+//     views are deliberately NOT checkpointed — recovery re-derives them
+//     from base state through the evaluator's counted initialization,
+//     which is what makes the IVM layer provably a pure function of the
+//     base tables;
+//   - recovery loads the latest valid checkpoint and replays the log tail.
+//
+// Torn-tail contract: a crash can truncate the log at any byte offset. A
+// trailing record that is incomplete (the file ends inside its frame) or
+// fails its checksum is a torn write of the crashed process and is skipped
+// silently — the transaction it described was never acknowledged at that
+// sync level. A checksum failure followed by further well-formed records is
+// NOT a torn write: it means the middle of the log rotted, replaying past
+// it would diverge from the acknowledged history, and recovery reports a
+// hard error instead of guessing.
+//
+// Record frame layout (little-endian):
+//
+//	[4 bytes payload length][4 bytes CRC32-Castagnoli of payload][payload]
+//
+// Payload layout: record kind (1 byte), LSN (uvarint), then per-relation
+// net deltas (name, arity, inserted tuples, deleted tuples) in the binary
+// value encoding of encode.go.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"birds/internal/value"
+)
+
+// SyncMode selects when the log is fsynced.
+type SyncMode uint8
+
+const (
+	// SyncOff never fsyncs: records reach the OS on write and the disk
+	// whenever the OS flushes (or on Close). Fastest; a machine crash can
+	// lose recent acknowledged writes, a process crash cannot.
+	SyncOff SyncMode = iota
+	// SyncOnCommit fsyncs every record — direct transactions, batch
+	// flushes and bulk loads alike. Every acknowledged write survives a
+	// machine crash.
+	SyncOnCommit
+	// SyncOnFlush fsyncs group-commit flush records (and checkpoints) but
+	// lets direct per-transaction records ride along until the next sync.
+	// With batching enabled this amortizes one fsync across the whole
+	// batch, exactly as the flush amortizes the view-maintenance pass.
+	SyncOnFlush
+)
+
+// String renders the mode as its flag spelling (off / commit / flush).
+func (m SyncMode) String() string {
+	switch m {
+	case SyncOff:
+		return "off"
+	case SyncOnCommit:
+		return "commit"
+	case SyncOnFlush:
+		return "flush"
+	default:
+		return fmt.Sprintf("syncmode(%d)", uint8(m))
+	}
+}
+
+// ParseSyncMode parses the flag spelling of a sync mode.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "off":
+		return SyncOff, nil
+	case "commit":
+		return SyncOnCommit, nil
+	case "flush":
+		return SyncOnFlush, nil
+	}
+	return SyncOff, fmt.Errorf("wal: unknown sync mode %q (want off, commit or flush)", s)
+}
+
+// Kind discriminates log records.
+type Kind uint8
+
+const (
+	// KindTxn is one direct (unbatched) transaction commit: the exact net
+	// row delta of the transaction, per affected base table.
+	KindTxn Kind = iota + 1
+	// KindBatch is one group-commit flush: the coalesced net row delta of
+	// every transaction in the batch, per affected base table.
+	KindBatch
+	// KindBulkLoad is one LoadTable call: the rows actually inserted
+	// (duplicates of existing rows excluded), as an insert-only delta.
+	KindBulkLoad
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTxn:
+		return "txn"
+	case KindBatch:
+		return "batch"
+	case KindBulkLoad:
+		return "bulk-load"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// TableDelta is the net row delta of one base table inside a record. For
+// KindBulkLoad, Del is empty.
+type TableDelta struct {
+	Name  string
+	Arity int
+	Ins   []value.Tuple
+	Del   []value.Tuple
+}
+
+// Record is one decoded log record.
+type Record struct {
+	Kind   Kind
+	LSN    uint64
+	Tables []TableDelta
+}
+
+// LogName is the log's file name inside a durability directory.
+const LogName = "wal.log"
+
+const frameHeader = 8 // 4 bytes length + 4 bytes CRC
+
+// maxRecordBytes bounds a single record frame (1 GiB); a length prefix
+// beyond it can only be corruption.
+const maxRecordBytes = 1 << 30
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports mid-log corruption: a record that fails its checksum
+// (or does not decode) but is followed by further well-formed records, so
+// it cannot be the torn tail of a crashed append.
+var ErrCorrupt = errors.New("wal: mid-log corruption")
+
+// Log is an open write-ahead log. Append/Sync/Truncate serialize on an
+// internal mutex; the engine additionally calls them under its own write
+// lock, which is what orders records identically to execution order.
+type Log struct {
+	mu      sync.Mutex
+	f       *os.File
+	dir     string
+	nextLSN uint64
+	buf     []byte
+	dirty   bool // bytes appended since the last fsync
+
+	// failAppend, when non-nil, makes the next Append fail with this error
+	// before writing anything — fault injection for the crash harness
+	// (tests only).
+	failAppend error
+}
+
+// Open opens (creating if absent) the log inside dir, positioned to append.
+// nextLSN is the LSN the next appended record receives; callers derive it
+// from the checkpoint/replay they performed before opening.
+func Open(dir string, nextLSN uint64) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, LogName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, dir: dir, nextLSN: nextLSN}, nil
+}
+
+// Dir returns the durability directory the log lives in.
+func (l *Log) Dir() string { return l.dir }
+
+// NextLSN returns the LSN the next appended record will receive.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// LastLSN returns the LSN of the most recently appended record (0 if none
+// since the log was opened at LSN 1).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// InjectAppendError arms (or with nil disarms) append fault injection: the
+// next Append fails with err before writing anything. Tests only — it is
+// how the crash harness pins down the store-untouched-on-log-failure
+// contract without an actual I/O error.
+func (l *Log) InjectAppendError(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.failAppend = err
+}
+
+// Append encodes one record, assigns it the next LSN, writes its frame and
+// — when sync is true — fsyncs the log. The record is acknowledged (and the
+// LSN consumed) only on success: a failed append leaves the log exactly as
+// it was, so the caller can roll its in-memory state back and report the
+// write as failed.
+func (l *Log) Append(kind Kind, tables []TableDelta, sync bool) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failAppend != nil {
+		err := l.failAppend
+		return 0, err
+	}
+	lsn := l.nextLSN
+	payload := encodeRecord(l.buf[:0], kind, lsn, tables)
+	l.buf = payload[:0] // keep the (possibly grown) scratch buffer
+
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	// One writev-style append: header and payload in a single Write call,
+	// so a crash tears at a byte offset inside one frame, never interleaves
+	// frames.
+	frame := append(hdr[:], payload...)
+	if _, err := l.f.Write(frame); err != nil {
+		// A partial write would leave a torn (unacknowledged) tail, which
+		// recovery skips — the contract holds even here.
+		return 0, err
+	}
+	l.dirty = true
+	l.nextLSN++
+	if sync {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// Sync fsyncs any appended-but-unsynced records.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	return nil
+}
+
+// Truncate empties the log — called after a checkpoint made every record
+// redundant. Records keep their monotonically increasing LSNs across
+// truncations, so replay remains unambiguous even if a crash lands between
+// a checkpoint rename and this truncation (the stale records' LSNs are ≤
+// the checkpoint LSN and are skipped).
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	l.dirty = false
+	return l.f.Sync()
+}
+
+// Size returns the current byte size of the log file.
+func (l *Log) Size() (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, err := l.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Close fsyncs and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	serr := l.f.Sync()
+	cerr := l.f.Close()
+	l.f = nil
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// ReplayResult summarizes one log replay.
+type ReplayResult struct {
+	// Last is the LSN of the last record delivered (afterLSN if none).
+	Last uint64
+	// Replayed counts the records delivered to the callback.
+	Replayed int
+	// Skipped counts well-formed records at or below afterLSN (already
+	// covered by the checkpoint) that were not delivered.
+	Skipped int
+	// TornTail reports that trailing bytes were discarded as a torn write.
+	TornTail bool
+}
+
+// Replay reads the log at dir and delivers every record with LSN >
+// afterLSN to fn, in log order. Incomplete or checksum-failing trailing
+// records are skipped silently (TornTail is set); a bad record followed by
+// further well-formed records is mid-log corruption and returns ErrCorrupt.
+// A missing log file replays as empty.
+func Replay(dir string, afterLSN uint64, fn func(*Record) error) (ReplayResult, error) {
+	res := ReplayResult{Last: afterLSN}
+	data, err := os.ReadFile(filepath.Join(dir, LogName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return res, nil
+		}
+		return res, err
+	}
+
+	off := 0
+	for off < len(data) {
+		rec, frameLen, ok := decodeFrame(data[off:])
+		if !ok {
+			// The frame at off is incomplete, checksum-failing or
+			// undecodable. If any complete, checksum-valid frame follows
+			// it, the log rotted in the middle; otherwise this is the torn
+			// tail of a crashed append.
+			if frameLen > 0 && anyValidFrame(data[off+frameLen:]) {
+				return res, fmt.Errorf("%w: bad record at byte offset %d", ErrCorrupt, off)
+			}
+			res.TornTail = true
+			return res, nil
+		}
+		off += frameLen
+		if rec.LSN <= afterLSN {
+			res.Skipped++
+			continue
+		}
+		if rec.LSN != res.Last+1 {
+			return res, fmt.Errorf("%w: record LSN %d after LSN %d (gap)", ErrCorrupt, rec.LSN, res.Last)
+		}
+		if err := fn(rec); err != nil {
+			return res, err
+		}
+		res.Last = rec.LSN
+		res.Replayed++
+	}
+	return res, nil
+}
+
+// decodeFrame decodes the frame at the start of data. ok is false when the
+// frame is incomplete, fails its checksum, or does not decode. frameLen is
+// non-zero only for a COMPLETE frame (its bytes are all present, so a
+// caller can resync past it); an incomplete frame extends to end-of-data
+// and nothing can follow it.
+func decodeFrame(data []byte) (rec *Record, frameLen int, ok bool) {
+	if len(data) < frameHeader {
+		return nil, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[0:4]))
+	if n > maxRecordBytes {
+		return nil, 0, false
+	}
+	frameLen = frameHeader + n
+	if len(data) < frameLen {
+		return nil, 0, false
+	}
+	payload := data[frameHeader:frameLen]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[4:8]) {
+		return nil, frameLen, false
+	}
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		return nil, frameLen, false
+	}
+	return rec, frameLen, true
+}
+
+// anyValidFrame reports whether data contains a complete, checksum-valid
+// record frame at its start (the resync probe behind the mid-log-corruption
+// distinction: after a bad frame whose length field is intact, the next
+// frame starts right after it).
+func anyValidFrame(data []byte) bool {
+	for len(data) >= frameHeader {
+		rec, frameLen, ok := decodeFrame(data)
+		if ok && rec != nil {
+			return true
+		}
+		if frameLen == 0 || frameLen > len(data) {
+			return false
+		}
+		data = data[frameLen:]
+	}
+	return false
+}
+
+// --- record encoding ------------------------------------------------------
+
+func encodeRecord(buf []byte, kind Kind, lsn uint64, tables []TableDelta) []byte {
+	buf = append(buf, byte(kind))
+	buf = binary.AppendUvarint(buf, lsn)
+	buf = binary.AppendUvarint(buf, uint64(len(tables)))
+	for _, t := range tables {
+		buf = appendString(buf, t.Name)
+		buf = binary.AppendUvarint(buf, uint64(t.Arity))
+		buf = appendTuples(buf, t.Ins)
+		buf = appendTuples(buf, t.Del)
+	}
+	return buf
+}
+
+func decodeRecord(payload []byte) (*Record, error) {
+	d := &decoder{data: payload}
+	rec := &Record{Kind: Kind(d.byte())}
+	rec.LSN = d.uvarint()
+	nt := int(d.uvarint())
+	if d.err == nil && nt > len(payload) { // arity-free sanity bound
+		return nil, fmt.Errorf("wal: implausible table count %d", nt)
+	}
+	for i := 0; i < nt && d.err == nil; i++ {
+		var t TableDelta
+		t.Name = d.string()
+		t.Arity = int(d.uvarint())
+		t.Ins = d.tuples(t.Arity)
+		t.Del = d.tuples(t.Arity)
+		rec.Tables = append(rec.Tables, t)
+	}
+	if d.err == nil && d.off != len(payload) {
+		return nil, fmt.Errorf("wal: %d trailing bytes in record", len(payload)-d.off)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	switch rec.Kind {
+	case KindTxn, KindBatch, KindBulkLoad:
+	default:
+		return nil, fmt.Errorf("wal: unknown record kind %d", rec.Kind)
+	}
+	return rec, nil
+}

@@ -1,0 +1,368 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"birds/internal/value"
+)
+
+func tup(vs ...value.Value) value.Tuple { return value.Tuple(vs) }
+
+func testRecords() [][]TableDelta {
+	return [][]TableDelta{
+		{{Name: "items", Arity: 3, Ins: []value.Tuple{
+			tup(value.Int(1), value.Str("a"), value.Float(1.5)),
+			tup(value.Int(2), value.Str("it's"), value.Bool(true)),
+		}}},
+		{{Name: "items", Arity: 3, Del: []value.Tuple{
+			tup(value.Int(1), value.Str("a"), value.Float(1.5)),
+		}}, {Name: "owners", Arity: 2, Ins: []value.Tuple{
+			tup(value.Int(7), value.Null()),
+		}}},
+		{{Name: "owners", Arity: 2, Ins: []value.Tuple{
+			tup(value.Int(8), value.Int(-12345678901)),
+		}, Del: []value.Tuple{
+			tup(value.Int(7), value.Null()),
+		}}},
+	}
+}
+
+// appendAll writes the test records and closes the log, returning the dir.
+func appendAll(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := Open(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{KindTxn, KindBatch, KindBulkLoad}
+	for i, tables := range testRecords() {
+		lsn, err := l.Append(kinds[i%len(kinds)], tables, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("record %d got LSN %d", i, lsn)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func replayAll(t *testing.T, dir string, afterLSN uint64) ([]*Record, ReplayResult, error) {
+	t.Helper()
+	var recs []*Record
+	res, err := Replay(dir, afterLSN, func(r *Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	return recs, res, err
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := appendAll(t)
+	recs, res, err := replayAll(t, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TornTail || res.Replayed != 3 || res.Last != 3 {
+		t.Fatalf("unexpected replay result %+v", res)
+	}
+	want := testRecords()
+	for i, rec := range recs {
+		if rec.LSN != uint64(i+1) {
+			t.Fatalf("record %d: LSN %d", i, rec.LSN)
+		}
+		if len(rec.Tables) != len(want[i]) {
+			t.Fatalf("record %d: %d tables, want %d", i, len(rec.Tables), len(want[i]))
+		}
+		for j, td := range rec.Tables {
+			w := want[i][j]
+			if td.Name != w.Name || td.Arity != w.Arity {
+				t.Fatalf("record %d table %d: %q/%d", i, j, td.Name, td.Arity)
+			}
+			for k, tu := range td.Ins {
+				if !tu.Equal(w.Ins[k]) {
+					t.Fatalf("record %d table %d ins %d: %s != %s", i, j, k, tu, w.Ins[k])
+				}
+			}
+			for k, tu := range td.Del {
+				if !tu.Equal(w.Del[k]) {
+					t.Fatalf("record %d table %d del %d: %s != %s", i, j, k, tu, w.Del[k])
+				}
+			}
+		}
+	}
+
+	// afterLSN skips covered records without replaying them.
+	recs, res, err = replayAll(t, dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].LSN != 3 || res.Skipped != 2 {
+		t.Fatalf("afterLSN=2: got %d records, result %+v", len(recs), res)
+	}
+}
+
+// TestTornTailSkippedAtEveryOffset truncates the log at every byte offset:
+// replay must never error, and must deliver exactly the records whose
+// frames fit completely below the truncation point.
+func TestTornTailSkippedAtEveryOffset(t *testing.T) {
+	dir := appendAll(t)
+	full, err := os.ReadFile(filepath.Join(dir, LogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame boundaries, computed by a clean replay of prefix sizes.
+	boundaries := frameBoundaries(t, full)
+	for cut := 0; cut <= len(full); cut++ {
+		tdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(tdir, LogName), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, res, err := replayAll(t, tdir, 0)
+		if err != nil {
+			t.Fatalf("cut=%d: unexpected error %v", cut, err)
+		}
+		wantComplete := 0
+		for _, b := range boundaries {
+			if b <= cut {
+				wantComplete++
+			}
+		}
+		if len(recs) != wantComplete {
+			t.Fatalf("cut=%d: replayed %d records, want %d", cut, len(recs), wantComplete)
+		}
+		// Any cut that is not exactly a frame boundary (or the empty file)
+		// leaves torn trailing bytes.
+		wantTorn := cut != 0
+		if wantComplete > 0 && cut == boundaries[wantComplete-1] {
+			wantTorn = false
+		}
+		if res.TornTail != wantTorn {
+			t.Fatalf("cut=%d: TornTail=%v, want %v", cut, res.TornTail, wantTorn)
+		}
+	}
+}
+
+// frameBoundaries returns the cumulative end offsets of each frame.
+func frameBoundaries(t *testing.T, data []byte) []int {
+	t.Helper()
+	var out []int
+	off := 0
+	for off < len(data) {
+		_, frameLen, ok := decodeFrame(data[off:])
+		if !ok {
+			t.Fatalf("bad frame at offset %d", off)
+		}
+		off += frameLen
+		out = append(out, off)
+	}
+	return out
+}
+
+// TestMidLogCorruptionIsHardError flips one byte inside the FIRST record's
+// payload: later records are intact, so replay must refuse to skip.
+func TestMidLogCorruptionIsHardError(t *testing.T) {
+	dir := appendAll(t)
+	path := filepath.Join(dir, LogName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeader+2] ^= 0xff // inside record 1's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = replayAll(t, dir, 0)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+// TestTrailingCorruptRecordSkipped flips a byte inside the LAST record:
+// with nothing valid after it, the checksum failure reads as a torn tail.
+func TestTrailingCorruptRecordSkipped(t *testing.T) {
+	dir := appendAll(t)
+	path := filepath.Join(dir, LogName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries := frameBoundaries(t, data)
+	last := boundaries[len(boundaries)-2] // start of final frame
+	data[last+frameHeader+1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, res, err := replayAll(t, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || !res.TornTail {
+		t.Fatalf("got %d records, result %+v; want 2 records and a torn tail", len(recs), res)
+	}
+}
+
+func TestReplayMissingLogIsEmpty(t *testing.T) {
+	recs, res, err := replayAll(t, t.TempDir(), 0)
+	if err != nil || len(recs) != 0 || res.TornTail {
+		t.Fatalf("recs=%d res=%+v err=%v", len(recs), res, err)
+	}
+}
+
+func TestAppendAfterReopenContinuesLSN(t *testing.T) {
+	dir := appendAll(t)
+	l, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append(KindTxn, []TableDelta{{Name: "items", Arity: 1, Ins: []value.Tuple{tup(value.Int(9))}}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 4 {
+		t.Fatalf("got LSN %d, want 4", lsn)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := replayAll(t, dir, 0)
+	if err != nil || len(recs) != 4 {
+		t.Fatalf("recs=%d err=%v", len(recs), err)
+	}
+}
+
+func TestInjectAppendError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	boom := errors.New("boom")
+	l.InjectAppendError(boom)
+	if _, err := l.Append(KindTxn, nil, true); !errors.Is(err, boom) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	sz, err := l.Size()
+	if err != nil || sz != 0 {
+		t.Fatalf("failed append wrote bytes: size=%d err=%v", sz, err)
+	}
+	l.InjectAppendError(nil)
+	if _, err := l.Append(KindTxn, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LastLSN(); got != 1 {
+		t.Fatalf("LSN consumed by failed append: last=%d", got)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ck := &Checkpoint{
+		LSN:             42,
+		Sync:            SyncOnFlush,
+		CheckpointEvery: 512,
+		Parallelism:     4,
+		Batching:        &BatchConfig{MaxTxns: 64, FlushInterval: 5 * time.Millisecond},
+		Tables: []TableState{{
+			Name:  "items",
+			Attrs: []AttrState{{"iid", "int"}, {"iname", "string"}},
+			Rows:  []value.Tuple{tup(value.Int(1), value.Str("a")), tup(value.Int(2), value.Str("b"))},
+		}, {
+			Name:  "empty",
+			Attrs: []AttrState{{"x", "int"}},
+		}},
+		Views: []ViewState{{
+			Program:     "source items(iid:int, iname:string).\nview v(iid:int, iname:string).\n-items(I,N) :- items(I,N), not v(I,N).\n",
+			Get:         []string{"v(I,N) :- items(I,N)."},
+			Incremental: true,
+		}},
+	}
+	if err := WriteCheckpoint(dir, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LSN != 42 || got.Sync != SyncOnFlush || got.CheckpointEvery != 512 || got.Parallelism != 4 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Batching == nil || got.Batching.MaxTxns != 64 || got.Batching.FlushInterval != 5*time.Millisecond {
+		t.Fatalf("batching mismatch: %+v", got.Batching)
+	}
+	if len(got.Tables) != 2 || got.Tables[0].Name != "items" || len(got.Tables[0].Rows) != 2 ||
+		got.Tables[1].Name != "empty" || len(got.Tables[1].Rows) != 0 {
+		t.Fatalf("tables mismatch: %+v", got.Tables)
+	}
+	if got.Tables[0].Attrs[1] != (AttrState{"iname", "string"}) {
+		t.Fatalf("attrs mismatch: %+v", got.Tables[0].Attrs)
+	}
+	if len(got.Views) != 1 || got.Views[0].Program != ck.Views[0].Program ||
+		len(got.Views[0].Get) != 1 || got.Views[0].Get[0] != ck.Views[0].Get[0] || !got.Views[0].Incremental {
+		t.Fatalf("views mismatch: %+v", got.Views)
+	}
+}
+
+// TestLatestCheckpointFallsBack corrupts the newest generation; the older
+// valid one must be loaded instead.
+func TestLatestCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, &Checkpoint{LSN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.ReadFile(filepath.Join(dir, ckptName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpoint(dir, &Checkpoint{LSN: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// WriteCheckpoint removed generation 1; restore it, then corrupt 2.
+	if err := os.WriteFile(filepath.Join(dir, ckptName(1)), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path2 := filepath.Join(dir, ckptName(2))
+	data, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path2, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.LSN != 1 {
+		t.Fatalf("loaded LSN %d, want fallback to 1", ck.LSN)
+	}
+}
+
+func TestLatestCheckpointEmptyDir(t *testing.T) {
+	ck, err := LatestCheckpoint(t.TempDir())
+	if err != nil || ck != nil {
+		t.Fatalf("ck=%v err=%v", ck, err)
+	}
+}
+
+func TestParseSyncMode(t *testing.T) {
+	for _, m := range []SyncMode{SyncOff, SyncOnCommit, SyncOnFlush} {
+		got, err := ParseSyncMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("round-trip %v: got %v err %v", m, got, err)
+		}
+	}
+	if _, err := ParseSyncMode("nope"); err == nil {
+		t.Fatal("want error for unknown mode")
+	}
+}
