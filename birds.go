@@ -84,8 +84,17 @@ type (
 	Assignment = engine.Assignment
 	// Batcher is the group-commit write pipeline handle (DB.Batch,
 	// DB.SetBatching): admitted transactions stage their coalesced net
-	// deltas and flush as one view-maintenance pass.
+	// deltas and flush as one view-maintenance pass. Batcher.ExecWait
+	// blocks until the transaction's batch is flushed (the session
+	// acknowledgment point cmd/birds-serve is built on), and
+	// Batcher.Stats exposes the pipeline's counters.
 	Batcher = engine.Batcher
+	// BatcherStats is a snapshot of a Batcher's counters: admissions,
+	// flushes, coalesced-away rows, and queue depth.
+	BatcherStats = engine.BatcherStats
+	// Commit is the flush handle of one admitted transaction
+	// (Batcher.ExecAsync).
+	Commit = engine.Commit
 	// BatchOptions configures a Batcher's flush triggers.
 	BatchOptions = engine.BatchOptions
 	// DurabilityOptions configures DB.EnableDurability: the write-ahead-log

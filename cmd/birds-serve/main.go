@@ -1,0 +1,133 @@
+// Command birds-serve serves a birds database over HTTP/JSON: DML through
+// the group-commit write pipeline, atomic multi-relation queries, DDL for
+// base tables and updatable views, and admin endpoints (flush, checkpoint,
+// stats). Every client session is multiplexed onto one batcher, so N
+// concurrent writers coalesce into single view-maintenance passes and —
+// with -durable — single WAL fsyncs.
+//
+//	$ birds-serve -addr :8344 -durable ./data -fsync flush
+//
+// A 200 from POST /exec means the transaction's batch has flushed: its
+// effects are visible to all subsequent reads and (with -durable) its WAL
+// record is on disk. On SIGTERM/SIGINT the server stops accepting, lets
+// in-flight requests finish, flushes the remaining batch and writes a
+// final checkpoint before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"birds"
+	"birds/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "birds-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8344", "listen address")
+	batchSize := flag.Int("batch-size", 64,
+		"group-commit batch size: flush after this many admitted transactions (1 serves unbatched, every write flushes alone)")
+	flushInterval := flag.Duration("flush-interval", server.DefaultFlushInterval,
+		"flush a partially filled batch this long after its first admission (bounds commit latency under low traffic)")
+	timeout := flag.Duration("timeout", server.DefaultRequestTimeout,
+		"per-request timeout, including the wait for the transaction's flush")
+	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size cap in bytes")
+	durable := flag.String("durable", "",
+		"write-ahead-log directory: recover it on boot if it holds durable state, else start empty with durability enabled")
+	fsync := flag.String("fsync", "flush",
+		"WAL fsync mode with -durable: off, commit (every record), or flush (one fsync per group-commit batch)")
+	addrFile := flag.String("addr-file", "",
+		"write the bound listen address to this file once serving (for test harnesses using -addr :0)")
+	flag.Parse()
+
+	db, err := openDB(*durable, *fsync)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	srv := server.New(db, server.Config{
+		BatchSize:      *batchSize,
+		FlushInterval:  *flushInterval,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("birds-serve: listening on %s (batch-size=%d, flush-interval=%s, durable=%v)\n",
+		ln.Addr(), *batchSize, *flushInterval, *durable != "")
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			return err
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("birds-serve: shutting down (drain, flush, checkpoint)")
+
+	// Stop accepting, let in-flight requests finish (bounded), then flush
+	// the remaining batch and checkpoint — every acknowledged AND every
+	// admitted-but-unflushed transaction commits before exit.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "birds-serve: shutdown:", err)
+	}
+	return srv.Drain()
+}
+
+// openDB boots the database: plain in-memory without -durable; with it,
+// recover the directory's durable state or enable durability on a fresh
+// directory (the birds-shell boot pattern).
+func openDB(dir, fsync string) (*birds.DB, error) {
+	if dir == "" {
+		return birds.NewDB(), nil
+	}
+	syncMode, err := birds.ParseSyncMode(fsync)
+	if err != nil {
+		return nil, err
+	}
+	if birds.HasDurableState(dir) {
+		db, stats, err := birds.Recover(dir)
+		if err != nil {
+			return nil, fmt.Errorf("recover %s: %w", dir, err)
+		}
+		fmt.Printf("birds-serve: recovered %s: checkpoint lsn=%d, %d record(s) replayed, torn tail=%v\n",
+			dir, stats.CheckpointLSN, stats.Replayed, stats.TornTail)
+		return db, nil
+	}
+	db := birds.NewDB()
+	if err := db.EnableDurability(birds.DurabilityOptions{Dir: dir, Sync: syncMode}); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

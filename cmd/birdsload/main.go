@@ -1,0 +1,286 @@
+// Command birdsload is the load generator for birds-serve: N concurrent
+// sessions drive coalescing write streams through POST /exec and the tool
+// reports throughput and latency percentiles per concurrency level.
+//
+//	$ birds-serve -addr :8344 -durable ./data -fsync flush &
+//	$ birdsload -addr 127.0.0.1:8344 -setup -sessions 1,8,64 -writes 500 -json BENCH_serve.json
+//
+// Each session writes into a private id range of the shared items table:
+// write i inserts a fresh hot row and deletes the previous one — the
+// steady-state stream of the DML maintenance benchmark, where group commit
+// coalesces consecutive writes into small net deltas. Every write is an
+// acknowledged transaction: the request returns only after the batch
+// holding it has flushed (and, on a durable server, fsynced per the
+// server's mode), so the measured latency is commit latency, not
+// enqueue latency.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type result struct {
+	Sessions      int     `json:"sessions"`
+	WritesPerSess int     `json:"writes_per_session"`
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	WallMS        float64 `json:"wall_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50us         float64 `json:"p50_us"`
+	P95us         float64 `json:"p95_us"`
+	P99us         float64 `json:"p99_us"`
+	Flushes       uint64  `json:"flushes"`
+	Admitted      uint64  `json:"admitted"`
+	CoalescedRows uint64  `json:"coalesced_rows"`
+	TxnsPerFlush  float64 `json:"txns_per_flush"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "birdsload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8344", "server address (host:port)")
+	sessions := flag.String("sessions", "1,8,64", "comma-separated sweep of concurrent session counts")
+	writes := flag.Int("writes", 500, "acknowledged write transactions per session")
+	setup := flag.Bool("setup", false, "create the items table and luxury view fixture first (idempotent only on a fresh server)")
+	jsonOut := flag.String("json", "", "write the results array to this file")
+	label := flag.String("label", "", "label recorded with each result (e.g. batched/unbatched)")
+	flag.Parse()
+
+	base := "http://" + *addr
+	if err := waitHealthy(base, 5*time.Second); err != nil {
+		return err
+	}
+	if *setup {
+		if err := setupFixture(base); err != nil {
+			return fmt.Errorf("setup: %w", err)
+		}
+	}
+
+	var levels []int
+	for _, f := range strings.Split(*sessions, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -sessions entry %q", f)
+		}
+		levels = append(levels, n)
+	}
+
+	var results []any
+	idBase := 1_000_000 // keep sweep points in disjoint id ranges
+	for _, n := range levels {
+		res, err := sweep(base, n, *writes, idBase)
+		if err != nil {
+			return err
+		}
+		idBase += 2 * n * (*writes + 2)
+		fmt.Printf("sessions=%-3d writes/sess=%-5d throughput=%8.0f req/s  p50=%7.0fµs p95=%7.0fµs p99=%7.0fµs  txns/flush=%.1f\n",
+			n, *writes, res.ThroughputRPS, res.P50us, res.P95us, res.P99us, res.TxnsPerFlush)
+		if *label != "" {
+			results = append(results, struct {
+				Label string `json:"label"`
+				result
+			}{*label, res})
+		} else {
+			results = append(results, res)
+		}
+	}
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*jsonOut, append(buf, '\n'), 0o644)
+	}
+	return nil
+}
+
+// sweep runs one concurrency level: n sessions, each issuing `writes`
+// acknowledged transactions into a private id range.
+func sweep(base string, n, writes, idBase int) (result, error) {
+	// One pooled connection per session: the default transport keeps only
+	// two idle connections per host, which would turn a 64-session sweep
+	// into a TCP re-dial storm and measure the dialer instead of the
+	// server.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        n + 8,
+		MaxIdleConnsPerHost: n + 8,
+	}}
+	bs, err := batcherStats(base)
+	if err != nil {
+		return result{}, err
+	}
+
+	lat := make([][]time.Duration, n)
+	errCounts := make([]int, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := fmt.Sprintf("load-%d", w)
+			lo := idBase + 2*w*(writes+2)
+			lat[w] = make([]time.Duration, 0, writes)
+			for i := 0; i < writes; i++ {
+				id := lo + i
+				stmts := []map[string]any{{
+					"op": "insert", "target": "items",
+					"row": []any{id, fmt.Sprintf("hot%d", id), 1500},
+				}}
+				if i > 0 {
+					stmts = append(stmts, map[string]any{
+						"op": "delete", "target": "items",
+						"where": []map[string]any{{"col": "iid", "op": "=", "val": id - 1}},
+					})
+				}
+				t0 := time.Now()
+				err := post(client, base+"/exec", map[string]any{"stmts": stmts, "session": sess}, nil)
+				if err != nil {
+					errCounts[w]++
+					continue
+				}
+				lat[w] = append(lat[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	after, err := batcherStats(base)
+	if err != nil {
+		return result{}, err
+	}
+
+	var all []time.Duration
+	errs := 0
+	for w := range lat {
+		all = append(all, lat[w]...)
+		errs += errCounts[w]
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := result{
+		Sessions:      n,
+		WritesPerSess: writes,
+		Requests:      len(all),
+		Errors:        errs,
+		WallMS:        float64(wall.Microseconds()) / 1e3,
+		Flushes:       after.Flushes - bs.Flushes,
+		Admitted:      after.Admitted - bs.Admitted,
+		CoalescedRows: after.CoalescedRows - bs.CoalescedRows,
+	}
+	if len(all) > 0 {
+		res.ThroughputRPS = float64(len(all)) / wall.Seconds()
+		res.P50us = float64(pct(all, 0.50).Microseconds())
+		res.P95us = float64(pct(all, 0.95).Microseconds())
+		res.P99us = float64(pct(all, 0.99).Microseconds())
+	}
+	if res.Flushes > 0 {
+		res.TxnsPerFlush = float64(res.Admitted) / float64(res.Flushes)
+	}
+	return res, nil
+}
+
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// setupFixture creates the DML-maintenance fixture over the wire: the
+// items base table and the luxury selection view (registered with its
+// expected get, skipping oracle validation — this is a load fixture).
+func setupFixture(base string) error {
+	client := &http.Client{}
+	if err := post(client, base+"/ddl", map[string]any{
+		"source": "source items(iid:int, iname:string, price:int).",
+	}, nil); err != nil {
+		return err
+	}
+	return post(client, base+"/ddl", map[string]any{
+		"view": `
+source items(iid:int, iname:string, price:int).
+view luxury(iid:int, iname:string, price:int).
+-items(I,N,P) :- items(I,N,P), P > 1000, not luxury(I,N,P).
+`,
+		"incremental":     true,
+		"skip_validation": true,
+		"expected_get":    []string{"luxury(I,N,P) :- items(I,N,P), P > 1000."},
+	}, nil)
+}
+
+func post(client *http.Client, url string, body any, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(data))
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+type batcherCounters struct {
+	Flushes       uint64 `json:"flushes"`
+	Admitted      uint64 `json:"admitted"`
+	CoalescedRows uint64 `json:"coalesced_rows"`
+}
+
+func batcherStats(base string) (batcherCounters, error) {
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		return batcherCounters{}, err
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Batch batcherCounters `json:"batcher"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return batcherCounters{}, err
+	}
+	return payload.Batch, nil
+}
+
+func waitHealthy(base string, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %s", base, d)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

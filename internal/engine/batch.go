@@ -98,6 +98,107 @@ type Batcher struct {
 	armed    bool
 	deadline time.Time // when the armed interval trigger is due
 	closed   bool
+
+	// ticket is the commit handle of the batch in flight: every admitted
+	// transaction shares it, and the flush that applies (or fails) the
+	// batch resolves it. Created lazily at the first admission after a
+	// flush; nil while no transaction is staged.
+	ticket *flushTicket
+
+	// Counters behind Stats(). seq is the admission sequence number: it
+	// increments under b.mu for every successfully admitted (or, for view
+	// targets, directly executed) transaction, so it is exactly the
+	// serialization order the group-commit contract promises — replaying
+	// transactions in seq order on a fresh engine reproduces the state.
+	seq           uint64
+	admitted      uint64 // table transactions admitted into batches
+	direct        uint64 // view-targeted transactions (flush + direct path)
+	flushes       uint64 // flushes that had at least one staged transaction
+	flushedTxns   uint64 // transactions carried by those flushes
+	flushedRows   uint64 // net delta rows applied by those flushes
+	coalescedRows uint64 // staged rows cancelled or pruned before apply
+	stagedRows    uint64 // rows contributed by the batch in flight
+}
+
+// BatcherStats is a snapshot of a Batcher's counters (see Stats).
+type BatcherStats struct {
+	// Admitted counts table transactions admitted into batches; Direct
+	// counts view-targeted transactions, which flush the pending batch and
+	// run the unbatched propagation path. Seq is the admission sequence
+	// number of the most recent transaction (Admitted + Direct).
+	Admitted, Direct, Seq uint64
+	// Flushes counts flushes that carried at least one transaction;
+	// FlushedTxns the transactions those flushes applied; FlushedRows the
+	// net delta rows they handed to view maintenance; CoalescedRows the
+	// staged rows that cancelled against each other (or were pruned
+	// against the store) and therefore never cost a maintenance pass.
+	Flushes, FlushedTxns, FlushedRows, CoalescedRows uint64
+	// Pending is the current queue depth: transactions admitted since the
+	// last flush.
+	Pending int
+}
+
+// Stats returns a snapshot of the batcher's counters.
+func (b *Batcher) Stats() BatcherStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BatcherStats{
+		Admitted:      b.admitted,
+		Direct:        b.direct,
+		Seq:           b.seq,
+		Flushes:       b.flushes,
+		FlushedTxns:   b.flushedTxns,
+		FlushedRows:   b.flushedRows,
+		CoalescedRows: b.coalescedRows,
+		Pending:       b.txns,
+	}
+}
+
+// flushTicket is the shared commit handle of one batch: done closes when the
+// batch's flush completes, with err set write-once before the close.
+type flushTicket struct {
+	done chan struct{}
+	err  error
+}
+
+// resolvedTicket builds an already-resolved ticket carrying err.
+func resolvedTicket(err error) *flushTicket {
+	t := &flushTicket{done: make(chan struct{}), err: err}
+	close(t.done)
+	return t
+}
+
+// Commit is the flush handle an admitted transaction can wait on: Done
+// closes when the batch holding the transaction has been flushed (its WAL
+// record appended and its effects visible to readers), Err reports the
+// flush outcome and is valid only after Done. A flush error means the
+// transaction was NOT acknowledged — it stays staged and may still commit
+// with a later flush retry, so callers must treat it as indeterminate.
+type Commit struct{ t *flushTicket }
+
+// Done returns a channel that closes when the transaction's batch has been
+// flushed.
+func (c Commit) Done() <-chan struct{} { return c.t.done }
+
+// Err reports the flush outcome; call it only after Done is closed.
+func (c Commit) Err() error { return c.t.err }
+
+// Wait blocks until the transaction's batch is flushed and returns the
+// flush outcome.
+func (c Commit) Wait() error {
+	<-c.t.done
+	return c.t.err
+}
+
+// resolveTicketLocked resolves the current batch's commit handle, if any
+// transaction is waiting on it. Must be called with b.mu held.
+func (b *Batcher) resolveTicketLocked(err error) {
+	if b.ticket == nil {
+		return
+	}
+	b.ticket.err = err
+	close(b.ticket.done)
+	b.ticket = nil
 }
 
 type wantedIndex struct {
@@ -155,19 +256,64 @@ func (db *DB) Batching() bool { return db.batcher.Load() != nil }
 // trigger fires, or on Flush/Close. A view-targeted transaction flushes
 // the pending batch first and then runs the unbatched propagation path.
 // Statement errors roll back only this transaction's staged contribution.
+//
+// Exec acknowledges admission, not commit: the transaction's effects (and,
+// with durability enabled, its WAL record) land at the batch's flush. It
+// surfaces a flush error only when the admission itself triggered the
+// flush; callers that must not acknowledge a write before it is flushed —
+// a network server under the durability contract — use ExecWait.
 func (b *Batcher) Exec(stmts ...Statement) error {
-	if len(stmts) == 0 {
+	_, c, err := b.ExecAsync(stmts...)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-c.Done(): // this admission flushed the batch (or ran direct)
+		return c.Err()
+	default: // staged; a later trigger will flush
 		return nil
 	}
+}
+
+// ExecWait admits one transaction like Exec, then blocks until the batch
+// holding it has flushed — so a nil return means the transaction is applied,
+// visible to readers, and (with durability enabled) in the write-ahead log,
+// fsynced per the configured mode. It returns the transaction's admission
+// sequence number: replaying transactions in sequence order on a fresh
+// engine reproduces the database state (the group-commit serialization
+// contract, pinned by the server's differential harness).
+func (b *Batcher) ExecWait(stmts ...Statement) (uint64, error) {
+	seq, c, err := b.ExecAsync(stmts...)
+	if err != nil {
+		return seq, err
+	}
+	return seq, c.Wait()
+}
+
+// ExecAsync admits one transaction and returns without waiting for the
+// flush: seq is the admission sequence number and c the commit handle to
+// wait on. A non-nil err means the transaction was rejected (statement
+// error, unknown relation, closed batcher) and nothing was staged; c then
+// carries the same error, already resolved. For a view-targeted
+// transaction — which flushes the batch and runs the direct path — and for
+// an admission that itself triggered the size flush, c is already resolved
+// on return.
+func (b *Batcher) ExecAsync(stmts ...Statement) (seq uint64, c Commit, err error) {
+	fail := func(err error) (uint64, Commit, error) {
+		return 0, Commit{t: resolvedTicket(err)}, err
+	}
+	if len(stmts) == 0 {
+		return 0, Commit{t: resolvedTicket(nil)}, nil
+	}
 	if err := oneTarget(stmts); err != nil {
-		return err
+		return fail(err)
 	}
 	target := stmts[0].Target
 
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
-		return errBatcherClosed
+		return fail(errBatcherClosed)
 	}
 
 	db := b.db
@@ -181,23 +327,40 @@ func (b *Batcher) Exec(stmts ...Statement) error {
 		// View updates must evaluate their trigger against flushed state,
 		// and their putback plan applies (and maintains views) immediately.
 		if err := b.flushLocked(); err != nil {
-			return err
+			return fail(err)
 		}
-		return db.execDirect(stmts)
+		if err := db.execDirect(stmts); err != nil {
+			return fail(err)
+		}
+		b.seq++
+		b.direct++
+		return b.seq, Commit{t: resolvedTicket(nil)}, nil
 	default:
-		return fmt.Errorf("engine: unknown relation %q", target)
+		return fail(fmt.Errorf("engine: unknown relation %q", target))
 	}
 
-	if err := b.admitTable(target, decl, stmts); err != nil {
-		return err
+	rows, err := b.admitTable(target, decl, stmts)
+	if err != nil {
+		return fail(err)
 	}
 	b.buildWantedIndexes()
 	b.txns++
+	b.seq++
+	b.admitted++
+	b.stagedRows += uint64(rows)
+	seq = b.seq
+	if b.ticket == nil {
+		b.ticket = &flushTicket{done: make(chan struct{})}
+	}
+	c = Commit{t: b.ticket}
 	if b.opts.MaxTxns > 0 && b.txns >= b.opts.MaxTxns {
-		return b.flushLocked()
+		// The flush resolves c (with its error, if any); admission itself
+		// succeeded, so err stays nil.
+		_ = b.flushLocked()
+		return seq, c, nil
 	}
 	b.armTimerLocked()
-	return nil
+	return seq, c, nil
 }
 
 // Pending reports the number of transactions admitted since the last flush.
@@ -229,10 +392,15 @@ func (b *Batcher) Close() error {
 	return err
 }
 
-// flushLocked is Flush with b.mu held.
+// flushLocked is Flush with b.mu held. It resolves the batch's commit
+// handle: with nil once the batch is applied and visible, or with the WAL
+// append error when the flush failed — the batch then stays staged, so
+// waiters that saw the error must treat their transactions as
+// indeterminate (a later flush retries the identical batch).
 func (b *Batcher) flushLocked() error {
 	b.disarmTimerLocked()
 	if b.txns == 0 {
+		b.resolveTicketLocked(nil)
 		return nil
 	}
 	names := make([]string, 0, len(b.staged))
@@ -289,6 +457,7 @@ func (b *Batcher) flushLocked() error {
 	// untouched; the caller sees the error and nothing was acknowledged, so
 	// a later flush can retry the identical batch.
 	if err := db.logWrite(wal.KindBatch, db.walTableDeltas(changed)); err != nil {
+		b.resolveTicketLocked(err)
 		return err
 	}
 
@@ -308,11 +477,21 @@ func (b *Batcher) flushLocked() error {
 		b.stage.Update(datalog.Del(n), value.NewRelation(arity))
 	}
 	clear(b.staged)
+	var net uint64
+	for _, d := range changed {
+		net += uint64(d.Ins.Len() + d.Del.Len())
+	}
+	b.flushes++
+	b.flushedTxns += uint64(b.txns)
+	b.flushedRows += net
+	b.coalescedRows += b.stagedRows - net
+	b.stagedRows = 0
 	b.txns = 0
 	if len(changed) > 0 {
 		db.maintainViews(changed, nil)
 	}
 	db.autoCheckpointLocked()
+	b.resolveTicketLocked(nil)
 	return nil
 }
 
@@ -380,7 +559,10 @@ func (b *Batcher) buildWantedIndexes() {
 // with the staged batch delta and the transaction's own local delta), and
 // the resulting net row delta merges into the staged batch only if every
 // statement succeeded. The store is only read, under the engine read lock.
-func (b *Batcher) admitTable(name string, decl *datalog.RelDecl, stmts []Statement) error {
+// It returns the number of net delta rows the transaction contributed
+// (before cross-transaction cancellation), which feeds the coalescing
+// counters behind Stats.
+func (b *Batcher) admitTable(name string, decl *datalog.RelDecl, stmts []Statement) (int, error) {
 	arity := decl.Arity()
 	pendIns := b.stage.Ensure(datalog.Ins(name), arity)
 	pendDel := b.stage.Ensure(datalog.Del(name), arity)
@@ -426,7 +608,7 @@ func (b *Batcher) admitTable(name string, decl *datalog.RelDecl, stmts []Stateme
 		return b.matchEffective(name, decl, where, l)
 	}
 	if err := runTableStmts(name, decl, stmts, match, insert, remove); err != nil {
-		return err // l is discarded: nothing staged, per-txn rollback
+		return 0, err // l is discarded: nothing staged, per-txn rollback
 	}
 
 	// Commit: merge the transaction's local delta into the staged batch,
@@ -446,7 +628,7 @@ func (b *Batcher) admitTable(name string, decl *datalog.RelDecl, stmts []Stateme
 	if !l.Empty() {
 		b.staged[name] = arity
 	}
-	return nil
+	return l.Ins.Len() + l.Del.Len(), nil
 }
 
 // matchEffective returns the rows matching where in the effective state

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"testing"
+
+	"birds/internal/value"
+)
+
+// Tests for the Batcher's observability and acknowledgment surface:
+// Stats() counters across a forced flush, the coalesced-away-rows
+// accounting, and the ExecWait/ExecAsync commit tickets the server's
+// acknowledgment point is built on.
+
+// statsBatcher builds the maintainDB fixture with a manual-flush batcher
+// (no size trigger, no interval trigger — flushes happen only when the
+// test says so).
+func statsBatcher(t *testing.T) (*DB, *Batcher) {
+	t.Helper()
+	db := maintainDB(t)
+	return db, db.Batch(BatchOptions{MaxTxns: -1})
+}
+
+func TestBatcherStatsAcrossForcedFlush(t *testing.T) {
+	_, b := statsBatcher(t)
+
+	if s := b.Stats(); s != (BatcherStats{}) {
+		t.Fatalf("fresh batcher stats = %+v, want zero", s)
+	}
+
+	// Three admitted transactions; the second and third cancel out, so the
+	// flush applies one net row and coalesces two away.
+	if err := b.Exec(Insert("r1", value.Int(1), value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Exec(Insert("r1", value.Int(2), value.Int(2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Exec(Delete("r1", Eq("a", value.Int(2)))); err != nil {
+		t.Fatal(err)
+	}
+
+	s := b.Stats()
+	want := BatcherStats{Admitted: 3, Seq: 3, Pending: 3}
+	if s != want {
+		t.Fatalf("pre-flush stats = %+v, want %+v", s, want)
+	}
+
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s = b.Stats()
+	want = BatcherStats{Admitted: 3, Seq: 3, Flushes: 1, FlushedTxns: 3, FlushedRows: 1, CoalescedRows: 2}
+	if s != want {
+		t.Fatalf("post-flush stats = %+v, want %+v", s, want)
+	}
+
+	// An empty flush is not counted.
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Stats().Flushes; got != 1 {
+		t.Fatalf("flushes after empty flush = %d, want 1", got)
+	}
+}
+
+func TestBatcherStatsDirectPath(t *testing.T) {
+	_, b := statsBatcher(t)
+
+	// Stage one table transaction, then write through a view: the direct
+	// path flushes the pending batch first, applies alone, and is counted
+	// as direct, not admitted.
+	if err := b.Exec(Insert("r1", value.Int(1), value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Exec(Insert("r2", value.Int(1), value.Int(7))); err != nil {
+		t.Fatal(err)
+	}
+	seq, c, err := b.ExecAsync(Delete("j", Eq("a", value.Int(1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Stats()
+	if s.Admitted != 2 || s.Direct != 1 || s.Seq != 3 || seq != 3 {
+		t.Fatalf("direct-path stats = %+v (direct seq %d), want admitted 2, direct 1, seq 3", s, seq)
+	}
+	if s.Flushes != 1 || s.FlushedTxns != 2 || s.Pending != 0 {
+		t.Fatalf("direct-path flush stats = %+v, want 1 flush of 2 txns, 0 pending", s)
+	}
+}
+
+func TestExecWaitBlocksUntilFlush(t *testing.T) {
+	_, b := statsBatcher(t)
+
+	type ack struct {
+		seq uint64
+		err error
+	}
+	done := make(chan ack, 1)
+	go func() {
+		seq, err := b.ExecWait(Insert("r1", value.Int(3), value.Int(3)))
+		done <- ack{seq, err}
+	}()
+
+	// ExecWait must be blocked: the manual batcher has no flush trigger.
+	for b.Pending() == 0 {
+	}
+	select {
+	case a := <-done:
+		t.Fatalf("ExecWait returned (%d, %v) before any flush", a.seq, a.err)
+	default:
+	}
+
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	a := <-done
+	if a.err != nil || a.seq != 1 {
+		t.Fatalf("ExecWait = (%d, %v), want (1, nil)", a.seq, a.err)
+	}
+}
+
+func TestExecAsyncCommitResolvedBySizeTrigger(t *testing.T) {
+	db := maintainDB(t)
+	b := db.Batch(BatchOptions{MaxTxns: 2})
+
+	_, c1, err := b.ExecAsync(Insert("r1", value.Int(4), value.Int(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c1.Done():
+		t.Fatal("first transaction's commit resolved before the batch filled")
+	default:
+	}
+	_, c2, err := b.ExecAsync(Insert("r1", value.Int(5), value.Int(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second admission hit the size trigger: both commits resolve.
+	if err := c1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := db.Get("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("r1 has %d rows after size-triggered flush, want 2", rel.Len())
+	}
+}

@@ -358,6 +358,15 @@ func (db *DB) relDecl(name string) *datalog.RelDecl {
 	return nil
 }
 
+// Decl returns the declaration of a registered table or view, or nil.
+// Declared attribute types are enforced at engine boundaries that choose
+// to (the network server does); the engine core itself only checks arity.
+func (db *DB) Decl(name string) *datalog.RelDecl {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.relDecl(name)
+}
+
 // IsView reports whether name is a registered view.
 func (db *DB) IsView(name string) bool {
 	db.mu.RLock()
@@ -463,6 +472,56 @@ func (db *DB) Get(name string) (*value.Relation, error) {
 // read-heavy workloads.
 func (db *DB) Snapshot(name string) (*value.Relation, error) {
 	return db.Get(name)
+}
+
+// GetAll returns immutable snapshots of several relations taken under ONE
+// lock acquisition, so the returned map is a mutually consistent cut of the
+// database: no transaction (and in particular no group-commit flush) can
+// interleave between the individual snapshots. A view's snapshot therefore
+// agrees exactly with the base-table snapshots it derives from — the
+// atomic-visibility contract the server's torn-batch checker pins down.
+// Each snapshot is O(1) copy-on-write, like Get's.
+func (db *DB) GetAll(names ...string) (map[string]*value.Relation, error) {
+	out := make(map[string]*value.Relation, len(names))
+	db.mu.RLock()
+	clean := true
+	for _, n := range names {
+		if _, ok := db.tables[n]; ok {
+			continue
+		}
+		if _, ok := db.views[n]; !ok || db.dirty[n] {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		for _, n := range names {
+			d := db.relDecl(n)
+			out[n] = db.store.RelOrEmpty(datalog.Pred(n), d.Arity()).Snapshot()
+		}
+		db.mu.RUnlock()
+		return out, nil
+	}
+	db.mu.RUnlock()
+
+	// A stale view (or an unknown name) forces the write lock:
+	// rematerialization mutates the store. Recheck everything — another
+	// transaction may have intervened.
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, n := range names {
+		d := db.relDecl(n)
+		if d == nil {
+			return nil, fmt.Errorf("engine: unknown relation %q", n)
+		}
+		if db.dirty[n] {
+			if err := db.refresh(n); err != nil {
+				return nil, err
+			}
+		}
+		out[n] = db.store.RelOrEmpty(datalog.Pred(n), d.Arity()).Snapshot()
+	}
+	return out, nil
 }
 
 // refresh fully rematerializes a view (and, first, its stale sources) —

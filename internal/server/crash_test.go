@@ -1,0 +1,293 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"birds/internal/engine"
+	"birds/internal/value"
+	"birds/internal/wal"
+)
+
+// Crash-during-serve harness: a child process (this test binary re-exec'd)
+// runs a durable server under live concurrent HTTP load until the parent
+// SIGKILLs it — no drain, no checkpoint, the WAL ends wherever the kernel
+// left it. The parent then restarts the server on the same directory
+// (recovery boot) and checks the serving durability contract over HTTP:
+//
+//   - every ACKNOWLEDGED write survives (a 200 means the flush record was
+//     fsynced — SyncOnFlush before the ack),
+//   - nothing beyond the ATTEMPTED writes appears (acked ⊆ recovered ⊆
+//     attempted; an unacknowledged in-flight transaction is indeterminate
+//     and may land either way),
+//   - views agree exactly with the recovered base tables,
+//   - the recovered server keeps serving: more acknowledged writes land
+//     and read back.
+//
+// Tunables: BIRDS_SERVE_CRASH_TRIALS (default 1), BIRDS_SERVE_CRASH_SEED
+// (kill-timing seed, default 1).
+
+const crashAddrFile = "serve-addr.txt"
+
+// crashChildServe is the child mode: build (or recover) the durable
+// fixture, bind an ephemeral port, publish the address, serve until
+// killed.
+func crashChildServe(t *testing.T, dir string) {
+	var db *engine.DB
+	if engine.HasDurableState(dir) {
+		rec, _, err := engine.Recover(dir)
+		if err != nil {
+			t.Fatalf("child: recover: %v", err)
+		}
+		db = rec
+	} else {
+		db = serveFixture(t)
+		if err := db.EnableDurability(engine.DurabilityOptions{Dir: dir, Sync: wal.SyncOnFlush}); err != nil {
+			t.Fatalf("child: enable durability: %v", err)
+		}
+	}
+	srv := New(db, Config{BatchSize: 8, FlushInterval: 500 * time.Microsecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("child: listen: %v", err)
+	}
+	// Publish the address atomically: write-then-rename, so the parent
+	// never reads a torn file.
+	tmp := filepath.Join(dir, crashAddrFile+".tmp")
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, crashAddrFile)); err != nil {
+		t.Fatal(err)
+	}
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		t.Fatalf("child: serve: %v", err)
+	}
+}
+
+// startCrashChild launches the re-exec'd server child on dir and waits for
+// it to publish its address.
+func startCrashChild(t *testing.T, exe, dir string) (*exec.Cmd, string, *bytes.Buffer) {
+	t.Helper()
+	os.Remove(filepath.Join(dir, crashAddrFile))
+	var out bytes.Buffer
+	cmd := exec.Command(exe, "-test.run", "^TestServeCrashRestartDurability$")
+	cmd.Env = append(os.Environ(), "BIRDS_SERVE_CRASH_DIR="+dir)
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(filepath.Join(dir, crashAddrFile)); err == nil && len(b) > 0 {
+			return cmd, string(b), &out
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("child never published an address; output:\n%s", out.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// crashWriter is one load generator: write i inserts the writer's row
+// base+i and deletes every older row in the writer's private range, so
+// after any committed prefix the range holds EXACTLY the one row of the
+// last committed write — the invariant the recovery oracle checks.
+type crashWriter struct {
+	w         int
+	acked     atomic.Int64 // last acknowledged write index, -1 if none
+	attempted atomic.Int64 // last write index sent, -1 if none
+}
+
+func (cw *crashWriter) txnBody(i int) map[string]any {
+	base := writerBase(cw.w)
+	id := base + i
+	stmts := []stmtJSON{{
+		Op: "insert", Target: "items",
+		Row: []wireValue{{value.Int(int64(id))}, {value.Str(fmt.Sprintf("c%d-%d", cw.w, i))}, {value.Int(1500)}},
+	}, {
+		Op: "delete", Target: "items",
+		Where: []condJSON{
+			{Col: "iid", Op: ">=", Val: wireValue{value.Int(int64(base))}},
+			{Col: "iid", Op: "<", Val: wireValue{value.Int(int64(id))}},
+		},
+	}}
+	return map[string]any{"stmts": stmts}
+}
+
+// run writes until the server dies (or stop closes), recording acked and
+// attempted indexes.
+func (cw *crashWriter) run(client *http.Client, base string, from int, stop <-chan struct{}, ackedTotal *atomic.Int64) {
+	for i := from; ; i++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		cw.attempted.Store(int64(i))
+		buf, err := json.Marshal(cw.txnBody(i))
+		if err != nil {
+			return
+		}
+		resp, err := client.Post(base+"/exec", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return // the kill landed
+		}
+		ok := resp.StatusCode == http.StatusOK
+		resp.Body.Close()
+		if !ok {
+			return
+		}
+		cw.acked.Store(int64(i))
+		ackedTotal.Add(1)
+	}
+}
+
+func TestServeCrashRestartDurability(t *testing.T) {
+	if dir := os.Getenv("BIRDS_SERVE_CRASH_DIR"); dir != "" {
+		crashChildServe(t, dir)
+		return
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := serveEnvInt("BIRDS_SERVE_CRASH_TRIALS", 1)
+	if testing.Short() {
+		trials = 1
+	}
+	rng := rand.New(rand.NewSource(int64(serveEnvInt("BIRDS_SERVE_CRASH_SEED", 1))))
+	const writers = 4
+
+	for trial := 0; trial < trials; trial++ {
+		dir := t.TempDir()
+		cmd, addr, childOut := startCrashChild(t, exe, dir)
+		base := "http://" + addr
+		client := &http.Client{Timeout: 10 * time.Second}
+
+		// Live load until the parent pulls the plug.
+		cws := make([]*crashWriter, writers)
+		var ackedTotal atomic.Int64
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for w := 0; w < writers; w++ {
+			cws[w] = &crashWriter{w: w}
+			cws[w].acked.Store(-1)
+			cws[w].attempted.Store(-1)
+			wg.Add(1)
+			go func(cw *crashWriter) {
+				defer wg.Done()
+				cw.run(client, base, 0, stop, &ackedTotal)
+			}(cws[w])
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for ackedTotal.Load() < 40 {
+			if time.Now().After(deadline) {
+				close(stop)
+				cmd.Process.Kill()
+				cmd.Wait()
+				t.Fatalf("trial %d: load never reached 40 acked writes; child output:\n%s", trial, childOut.String())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(time.Duration(rng.Intn(30)) * time.Millisecond)
+		cmd.Process.Kill() // SIGKILL: no drain, no checkpoint
+		cmd.Wait()
+		close(stop)
+		wg.Wait()
+
+		// Restart on the same directory: the recovery boot.
+		cmd2, addr2, childOut2 := startCrashChild(t, exe, dir)
+		base2 := "http://" + addr2
+		label := fmt.Sprintf("trial %d (acked %d writes)", trial, ackedTotal.Load())
+
+		rels := fetchRels(t, client, base2, "items", "luxury")
+		for w := 0; w < writers; w++ {
+			checkRecoveredWriter(t, label, cws[w], rels["items"])
+		}
+		// Every inserted price clears the luxury bar, so the view must
+		// mirror the base table exactly after recovery.
+		if !rels["luxury"].Equal(rels["items"]) {
+			t.Errorf("%s: recovered luxury != recovered items\nluxury: %v\nitems: %v",
+				label, rels["luxury"].Sorted(), rels["items"].Sorted())
+		}
+
+		// The recovered server keeps serving: more acknowledged writes.
+		for w := 0; w < writers; w++ {
+			next := int(cws[w].attempted.Load()) + 2
+			buf, err := json.Marshal(cws[w].txnBody(next))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := client.Post(base2+"/exec", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				t.Fatalf("%s: continuation write on recovered server: %v", label, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: continuation write: HTTP %d", label, resp.StatusCode)
+			}
+			resp.Body.Close()
+			cws[w].acked.Store(int64(next))
+			cws[w].attempted.Store(int64(next))
+		}
+		rels = fetchRels(t, client, base2, "items", "luxury")
+		for w := 0; w < writers; w++ {
+			checkRecoveredWriter(t, label+" continuation", cws[w], rels["items"])
+		}
+
+		cmd2.Process.Kill()
+		cmd2.Wait()
+		if t.Failed() {
+			t.Logf("child 1 output:\n%s\nchild 2 output:\n%s", childOut.String(), childOut2.String())
+			t.FailNow()
+		}
+	}
+}
+
+// checkRecoveredWriter asserts the per-writer recovery oracle: the
+// writer's private range holds exactly one row, at an index between the
+// last acknowledged write (must have survived) and the last attempted one
+// (nothing beyond it may exist).
+func checkRecoveredWriter(t *testing.T, label string, cw *crashWriter, items *value.Relation) {
+	t.Helper()
+	base := writerBase(cw.w)
+	acked, attempted := cw.acked.Load(), cw.attempted.Load()
+	var got []int64
+	for _, row := range items.Tuples() {
+		id := row[0].AsInt()
+		if id >= int64(base) && id < int64(base+1_000_000) {
+			got = append(got, id-int64(base))
+		}
+	}
+	switch {
+	case len(got) > 1:
+		t.Errorf("%s: writer %d: %d rows survived in its range (%v), want exactly one", label, cw.w, len(got), got)
+	case len(got) == 0:
+		if acked >= 0 {
+			t.Errorf("%s: writer %d: acknowledged write %d lost (no row survived)", label, cw.w, acked)
+		}
+	default:
+		if got[0] < acked {
+			t.Errorf("%s: writer %d: surviving write %d predates acknowledged write %d (lost an ack)",
+				label, cw.w, got[0], acked)
+		}
+		if got[0] > attempted {
+			t.Errorf("%s: writer %d: surviving write %d was never attempted (last attempt %d)",
+				label, cw.w, got[0], attempted)
+		}
+	}
+}

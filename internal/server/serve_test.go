@@ -1,0 +1,413 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"birds/internal/datalog"
+	"birds/internal/engine"
+	"birds/internal/value"
+)
+
+// Concurrent differential harness for the server: N concurrent HTTP
+// clients drive DML (structured, SQL, and view-targeted) through /exec
+// while readers poll multi-relation snapshots. The oracle is twofold:
+//
+//  1. Serializability — after the storm, every base table and view must be
+//     bit-identical to a serial in-process replay of the acknowledged
+//     transactions in seq order (the admission sequence the server returns
+//     with each 200).
+//  2. Atomic visibility — every mid-storm snapshot must satisfy
+//     luxury = σ_{price>1000}(items) within one response: flushes apply
+//     whole batches under the engine write lock, so no reader may ever
+//     observe a base table without its dependent view (a torn batch).
+//
+// Tunables: BIRDS_SERVE_SEED (default 1), BIRDS_SERVE_TRIALS (default 1).
+
+const (
+	luxuryProgram = `
+source items(iid:int, iname:string, price:int).
+view luxury(iid:int, iname:string, price:int).
+-items(I,N,P) :- items(I,N,P), P > 1000, not luxury(I,N,P).
+`
+	luxuryGet    = "luxury(I,N,P) :- items(I,N,P), P > 1000."
+	ownedProgram = `
+source items(iid:int, iname:string, price:int).
+source owners(oid:int, iid:int).
+view owned(oid:int, iid:int, price:int).
+-owners(O,I) :- owners(O,I), not ownedkeep(O).
+ownedkeep(O) :- owned(O,_,_).
+`
+	ownedGet = "owned(O,I,P) :- owners(O,I), items(I,_,P)."
+)
+
+var serveRels = []string{"items", "owners", "luxury", "owned"}
+
+// serveFixture builds the test database: items/owners base tables with a
+// selection view (luxury) and a join view (owned), registered unvalidated
+// — the harness tests the server, not Algorithm 1.
+func serveFixture(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.NewDB()
+	for _, src := range []string{
+		"source items(iid:int, iname:string, price:int).",
+		"source owners(oid:int, iid:int).",
+	} {
+		prog, err := datalog.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CreateTable(prog.Sources[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []struct {
+		prog, get   string
+		incremental bool
+	}{
+		{luxuryProgram, luxuryGet, true},
+		{ownedProgram, ownedGet, false}, // outside the linear-view fragment
+	} {
+		get, err := datalog.ParseRule(v.get)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.CreateView(v.prog, engine.ViewOptions{
+			SkipValidation: true, ExpectedGet: []*datalog.Rule{get}, Incremental: v.incremental,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(serveFixture(t), cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := srv.Drain(); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return srv, ts
+}
+
+func serveEnvInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			return v
+		}
+	}
+	return def
+}
+
+// --- wire client ------------------------------------------------------------
+
+func postJSON(t *testing.T, client *http.Client, url, session string, body any) (int, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", url, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if session != "" {
+		req.Header.Set("X-Birds-Session", session)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// fetchRels snapshots the named relations in one atomic /query.
+func fetchRels(t *testing.T, client *http.Client, base string, names ...string) map[string]*value.Relation {
+	t.Helper()
+	code, data := postJSON(t, client, base+"/query", "", map[string]any{"rels": names})
+	if code != http.StatusOK {
+		t.Fatalf("query %v: HTTP %d: %s", names, code, data)
+	}
+	var resp struct {
+		Relations []relationJSON `json:"relations"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]*value.Relation, len(resp.Relations))
+	for _, r := range resp.Relations {
+		out[r.Name] = decodeRelation(r)
+	}
+	return out
+}
+
+// --- workload ---------------------------------------------------------------
+
+// wireTxn is one write transaction in both its representations: the wire
+// body a client sends and the statements the serial reference replays.
+// The statements are derived FROM the wire form (decodeStatement /
+// ParseSQL), so the replay exercises the same decoding path the server
+// ran.
+type wireTxn struct {
+	body  map[string]any
+	stmts []engine.Statement
+}
+
+// ackedTxn is one acknowledged transaction with the serialization position
+// the server returned.
+type ackedTxn struct {
+	seq   uint64
+	stmts []engine.Statement
+}
+
+func writerBase(w int) int { return 1 + w*1_000_000 }
+
+// makeTxn builds writer w's i-th transaction: the DML-maintenance
+// coalescing stream (insert a hot row, delete the previous one), spiced
+// with owners transactions (join-view churn), updates, SQL-text
+// transactions and occasional view-targeted deletes (the direct path).
+// Each transaction targets one relation — the engine's transaction rule.
+func makeTxn(t *testing.T, w, i, seed int) wireTxn {
+	t.Helper()
+	id := writerBase(w) + i
+	// Deterministic price mix: some rows below the luxury bar, some above.
+	price := 500
+	if (id+seed)%3 != 0 {
+		price = 1500
+	}
+
+	if i%16 == 9 {
+		// View-targeted: delete yesterday's row through luxury. If that row
+		// is below the bar the delete is a no-op — same on the replay.
+		body := map[string]any{"stmts": []stmtJSON{{
+			Op: "delete", Target: "luxury",
+			Where: []condJSON{{Col: "iid", Op: "=", Val: wireValue{value.Int(int64(id - 1))}}},
+		}}}
+		return decodeWireTxn(t, body)
+	}
+
+	if i%5 == 2 && i > 0 {
+		sql := fmt.Sprintf("INSERT INTO items VALUES (%d, 'w%d-%d', %d); DELETE FROM items WHERE iid = %d;",
+			id, w, i, price, id-1)
+		body := map[string]any{"sql": sql}
+		stmts, err := engine.ParseSQL(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wireTxn{body: body, stmts: stmts}
+	}
+
+	if i%7 == 3 {
+		// Owners churn: point the writer's owner row at the current id
+		// (join-view maintenance on both sides of the join).
+		stmts := []stmtJSON{{
+			Op: "insert", Target: "owners",
+			Row: []wireValue{{value.Int(int64(writerBase(w)))}, {value.Int(int64(id))}},
+		}}
+		if i >= 7 {
+			stmts = append(stmts, stmtJSON{
+				Op: "delete", Target: "owners",
+				Where: []condJSON{
+					{Col: "oid", Op: "=", Val: wireValue{value.Int(int64(writerBase(w)))}},
+					{Col: "iid", Op: "<", Val: wireValue{value.Int(int64(id))}},
+				},
+			})
+		}
+		return decodeWireTxn(t, map[string]any{"stmts": stmts})
+	}
+
+	stmts := []stmtJSON{{
+		Op: "insert", Target: "items",
+		Row: []wireValue{{value.Int(int64(id))}, {value.Str(fmt.Sprintf("w%d-%d", w, i))}, {value.Int(int64(price))}},
+	}}
+	if i > 0 {
+		stmts = append(stmts, stmtJSON{
+			Op: "delete", Target: "items",
+			Where: []condJSON{{Col: "iid", Op: "=", Val: wireValue{value.Int(int64(id - 1))}}},
+		})
+	}
+	if i%8 == 4 {
+		stmts = append(stmts, stmtJSON{
+			Op: "update", Target: "items",
+			Set:   []setJSON{{Col: "price", Val: wireValue{value.Int(2500)}}},
+			Where: []condJSON{{Col: "iid", Op: "=", Val: wireValue{value.Int(int64(id))}}},
+		})
+	}
+	return decodeWireTxn(t, map[string]any{"stmts": stmts})
+}
+
+func decodeWireTxn(t *testing.T, body map[string]any) wireTxn {
+	t.Helper()
+	var stmts []engine.Statement
+	for _, sj := range body["stmts"].([]stmtJSON) {
+		st, err := decodeStatement(sj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stmts = append(stmts, st)
+	}
+	return wireTxn{body: body, stmts: stmts}
+}
+
+// --- the differential test --------------------------------------------------
+
+func TestServeConcurrentDifferential(t *testing.T) {
+	seed := serveEnvInt("BIRDS_SERVE_SEED", 1)
+	trials := serveEnvInt("BIRDS_SERVE_TRIALS", 1)
+	writes := serveEnvInt("BIRDS_SERVE_WRITES", 32)
+	if testing.Short() {
+		writes = 12
+	}
+	for _, clients := range []int{1, 4, 16} {
+		for trial := 0; trial < trials; trial++ {
+			t.Run(fmt.Sprintf("clients=%d/trial=%d", clients, trial), func(t *testing.T) {
+				runDifferentialStorm(t, clients, writes, seed+trial)
+			})
+		}
+	}
+}
+
+func runDifferentialStorm(t *testing.T, clients, writes, seed int) {
+	_, ts := startServer(t, Config{BatchSize: 16, FlushInterval: time.Millisecond})
+	httpc := ts.Client()
+
+	acked := make([][]ackedTxn, clients)
+	var wg sync.WaitGroup
+	stopReaders := make(chan struct{})
+	readerDone := make(chan struct{})
+
+	// The atomic-visibility reader: every multi-relation snapshot must be
+	// internally consistent — the selection view exactly σ(items).
+	readerErr := make(chan error, 1)
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stopReaders:
+				return
+			default:
+			}
+			rels := fetchRels(t, httpc, ts.URL, "items", "luxury")
+			if err := checkLuxuryCut(rels["items"], rels["luxury"]); err != nil {
+				select {
+				case readerErr <- err:
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := fmt.Sprintf("writer-%d", w)
+			acked[w] = make([]ackedTxn, 0, writes)
+			for i := 0; i < writes; i++ {
+				txn := makeTxn(t, w, i, seed)
+				body := txn.body
+				body["session"] = sess
+				code, data := postJSON(t, httpc, ts.URL+"/exec", sess, body)
+				if code != http.StatusOK {
+					t.Errorf("writer %d txn %d: HTTP %d: %s", w, i, code, data)
+					return
+				}
+				var resp struct {
+					Seq uint64 `json:"seq"`
+				}
+				if err := json.Unmarshal(data, &resp); err != nil {
+					t.Errorf("writer %d txn %d: %v", w, i, err)
+					return
+				}
+				acked[w] = append(acked[w], ackedTxn{seq: resp.Seq, stmts: txn.stmts})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopReaders)
+	<-readerDone
+	select {
+	case err := <-readerErr:
+		t.Fatalf("torn snapshot observed: %v", err)
+	default:
+	}
+	if t.Failed() {
+		t.FailNow() // a writer already reported its error
+	}
+
+	// Flush the tail and take the final server-side state.
+	if code, data := postJSON(t, httpc, ts.URL+"/flush", "", map[string]any{}); code != http.StatusOK {
+		t.Fatalf("flush: HTTP %d: %s", code, data)
+	}
+	got := fetchRels(t, httpc, ts.URL, serveRels...)
+
+	// Serial replay: every acknowledged transaction, in seq order, on a
+	// fresh in-process engine.
+	var all []ackedTxn
+	for _, a := range acked {
+		all = append(all, a...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	for i := 1; i < len(all); i++ {
+		if all[i].seq == all[i-1].seq {
+			t.Fatalf("duplicate seq %d across acknowledged transactions", all[i].seq)
+		}
+	}
+	ref := serveFixture(t)
+	for _, a := range all {
+		if err := ref.Exec(a.stmts...); err != nil {
+			t.Fatalf("replay seq %d: %v", a.seq, err)
+		}
+	}
+	want, err := ref.GetAll(serveRels...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range serveRels {
+		if !got[name].Equal(want[name]) {
+			t.Errorf("%s: server has %d rows, serial replay has %d rows\nserver: %v\nreplay: %v",
+				name, got[name].Len(), want[name].Len(), got[name].Sorted(), want[name].Sorted())
+		}
+	}
+}
+
+// checkLuxuryCut asserts one snapshot's internal consistency: the luxury
+// view is exactly the price>1000 selection of the items relation fetched
+// in the same atomic cut.
+func checkLuxuryCut(items, luxury *value.Relation) error {
+	if items == nil || luxury == nil {
+		return fmt.Errorf("snapshot missing a relation")
+	}
+	want := value.NewRelation(3)
+	for _, row := range items.Tuples() {
+		if row[2].AsInt() > 1000 {
+			want.Add(row)
+		}
+	}
+	if !luxury.Equal(want) {
+		return fmt.Errorf("luxury (%d rows) != σ_price>1000(items) (%d rows) in one cut",
+			luxury.Len(), want.Len())
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Sessions are the server's client identities: every request may carry a
+// session id (the X-Birds-Session header or the request's "session" field),
+// and the registry tracks per-session traffic counters. Sessions do NOT
+// partition the write pipeline — that is the point: every session's
+// transactions are multiplexed onto the ONE group-commit batcher, so N
+// concurrent sessions amortize into single maintenance passes and single
+// WAL fsyncs. A session is bookkeeping (who is connected, how much are they
+// doing), not an isolation domain; the consistency contract is the
+// batcher's (see the README's "Serving" section).
+
+// session is one registered client identity.
+type session struct {
+	ID      string    `json:"id"`
+	Created time.Time `json:"created"`
+
+	mu       sync.Mutex
+	lastSeen time.Time
+	execs    uint64
+	queries  uint64
+}
+
+func (s *session) touch(exec bool) {
+	s.mu.Lock()
+	s.lastSeen = time.Now()
+	if exec {
+		s.execs++
+	} else {
+		s.queries++
+	}
+	s.mu.Unlock()
+}
+
+// sessionStats is the per-session slice of GET /stats.
+type sessionStats struct {
+	ID       string    `json:"id"`
+	Created  time.Time `json:"created"`
+	LastSeen time.Time `json:"last_seen"`
+	Execs    uint64    `json:"execs"`
+	Queries  uint64    `json:"queries"`
+}
+
+// sessionRegistry tracks the sessions the server has seen.
+type sessionRegistry struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+func newSessionRegistry() *sessionRegistry {
+	return &sessionRegistry{sessions: make(map[string]*session)}
+}
+
+// create registers a fresh session with a random id.
+func (r *sessionRegistry) create() *session {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand never fails on the supported platforms; fall back to
+		// a time-derived id rather than refusing the session.
+		now := time.Now().UnixNano()
+		for i := range buf {
+			buf[i] = byte(now >> (8 * i))
+		}
+	}
+	id := hex.EncodeToString(buf[:])
+	s := &session{ID: id, Created: time.Now(), lastSeen: time.Now()}
+	r.mu.Lock()
+	r.sessions[id] = s
+	r.mu.Unlock()
+	return s
+}
+
+// get resolves a session id, registering unknown non-empty ids on first
+// use (a client may mint its own ids; the registry just tracks them). An
+// empty id resolves to nil — anonymous requests are served but not tracked
+// per-session.
+func (r *sessionRegistry) get(id string) *session {
+	if id == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.sessions[id]; ok {
+		return s
+	}
+	s := &session{ID: id, Created: time.Now(), lastSeen: time.Now()}
+	r.sessions[id] = s
+	return s
+}
+
+// stats snapshots every session's counters, plus the count of sessions
+// active within the given window.
+func (r *sessionRegistry) stats(activeWindow time.Duration) (all []sessionStats, active int) {
+	cutoff := time.Now().Add(-activeWindow)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.sessions {
+		s.mu.Lock()
+		st := sessionStats{ID: s.ID, Created: s.Created, LastSeen: s.lastSeen, Execs: s.execs, Queries: s.queries}
+		s.mu.Unlock()
+		if st.LastSeen.After(cutoff) {
+			active++
+		}
+		all = append(all, st)
+	}
+	return all, active
+}

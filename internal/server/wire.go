@@ -1,0 +1,262 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"birds/internal/datalog"
+	"birds/internal/engine"
+	"birds/internal/value"
+)
+
+// This file is the JSON wire format of the server: scalar values, DML
+// statements, and relations. The value encoding round-trips the engine's
+// type system exactly — ints and floats stay distinguishable (an integral
+// float is rendered with a trailing ".0"), which is what lets the
+// differential harness compare relations fetched over HTTP bit-for-bit
+// against an in-process engine.
+
+// wireValue wraps a value.Value with the JSON mapping: null ↔ Null,
+// bool ↔ Bool, string ↔ Str, and numbers split by form — a literal with a
+// '.' or exponent decodes as Float, anything else as Int.
+type wireValue struct{ v value.Value }
+
+func (w *wireValue) UnmarshalJSON(b []byte) error {
+	d := json.NewDecoder(bytes.NewReader(b))
+	d.UseNumber()
+	var raw any
+	if err := d.Decode(&raw); err != nil {
+		return err
+	}
+	switch x := raw.(type) {
+	case nil:
+		w.v = value.Null()
+	case bool:
+		w.v = value.Bool(x)
+	case string:
+		w.v = value.Str(x)
+	case json.Number:
+		s := x.String()
+		if strings.ContainsAny(s, ".eE") {
+			f, err := x.Float64()
+			if err != nil {
+				return fmt.Errorf("server: bad float literal %q", s)
+			}
+			w.v = value.Float(f)
+			return nil
+		}
+		i, err := x.Int64()
+		if err != nil {
+			return fmt.Errorf("server: integer literal %q out of range", s)
+		}
+		w.v = value.Int(i)
+	default:
+		return fmt.Errorf("server: row values must be JSON scalars, got %T", x)
+	}
+	return nil
+}
+
+func (w wireValue) MarshalJSON() ([]byte, error) {
+	switch w.v.Kind() {
+	case value.KindNull:
+		return []byte("null"), nil
+	case value.KindBool:
+		return strconv.AppendBool(nil, w.v.AsBool()), nil
+	case value.KindInt:
+		return strconv.AppendInt(nil, w.v.AsInt(), 10), nil
+	case value.KindFloat:
+		f := w.v.AsFloat()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("server: cannot encode non-finite float")
+		}
+		s := strconv.FormatFloat(f, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0" // keep the float/int distinction through the round trip
+		}
+		return []byte(s), nil
+	case value.KindString:
+		return json.Marshal(w.v.AsString())
+	}
+	return nil, fmt.Errorf("server: cannot encode value of kind %v", w.v.Kind())
+}
+
+// --- statements ------------------------------------------------------------
+
+// stmtJSON is one DML statement of a structured /exec request.
+type stmtJSON struct {
+	Op     string      `json:"op"` // "insert" | "delete" | "update"
+	Target string      `json:"target"`
+	Row    []wireValue `json:"row,omitempty"`
+	Set    []setJSON   `json:"set,omitempty"`
+	Where  []condJSON  `json:"where,omitempty"`
+}
+
+type setJSON struct {
+	Col string    `json:"col"`
+	Val wireValue `json:"val"`
+}
+
+type condJSON struct {
+	Col string    `json:"col"`
+	Op  string    `json:"op"` // "=", "<>", "<", ">", "<=", ">="
+	Val wireValue `json:"val"`
+}
+
+func parseCmpOp(s string) (datalog.CmpOp, error) {
+	switch s {
+	case "=", "==":
+		return datalog.OpEq, nil
+	case "<>", "!=":
+		return datalog.OpNe, nil
+	case "<":
+		return datalog.OpLt, nil
+	case ">":
+		return datalog.OpGt, nil
+	case "<=":
+		return datalog.OpLe, nil
+	case ">=":
+		return datalog.OpGe, nil
+	}
+	return 0, fmt.Errorf("server: unknown comparison operator %q", s)
+}
+
+// decodeStatement lowers one wire statement into an engine statement.
+func decodeStatement(s stmtJSON) (engine.Statement, error) {
+	var zero engine.Statement
+	if s.Target == "" {
+		return zero, fmt.Errorf("server: statement needs a target relation")
+	}
+	where := make([]engine.Condition, 0, len(s.Where))
+	for _, c := range s.Where {
+		op, err := parseCmpOp(c.Op)
+		if err != nil {
+			return zero, err
+		}
+		where = append(where, engine.Condition{Col: c.Col, Op: op, Val: c.Val.v})
+	}
+	switch s.Op {
+	case "insert":
+		if len(s.Row) == 0 {
+			return zero, fmt.Errorf("server: insert needs a row")
+		}
+		row := make(value.Tuple, len(s.Row))
+		for i, v := range s.Row {
+			row[i] = v.v
+		}
+		return engine.Statement{Kind: engine.StmtInsert, Target: s.Target, Row: row}, nil
+	case "delete":
+		return engine.Statement{Kind: engine.StmtDelete, Target: s.Target, Where: where}, nil
+	case "update":
+		if len(s.Set) == 0 {
+			return zero, fmt.Errorf("server: update needs a set clause")
+		}
+		set := make([]engine.Assignment, 0, len(s.Set))
+		for _, a := range s.Set {
+			set = append(set, engine.Assignment{Col: a.Col, Val: a.Val.v})
+		}
+		return engine.Statement{Kind: engine.StmtUpdate, Target: s.Target, Set: set, Where: where}, nil
+	}
+	return zero, fmt.Errorf("server: unknown statement op %q (want insert, delete or update)", s.Op)
+}
+
+// typeCheckStatement enforces the target's declared schema at the wire
+// boundary: inserted rows and update assignments must match the declared
+// attribute types (the engine core itself only checks arity — declared
+// types otherwise inform validation and SQL generation). WHERE literals
+// are not type-restricted beyond column existence: comparing an int column
+// against a float bound is meaningful.
+func typeCheckStatement(decl *datalog.RelDecl, st engine.Statement) error {
+	col := func(name string) int {
+		for i, a := range decl.Attrs {
+			if a.Name == name {
+				return i
+			}
+		}
+		return -1
+	}
+	for i, v := range st.Row {
+		if err := checkAttrType(decl, i, v); err != nil {
+			return err
+		}
+	}
+	for _, a := range st.Set {
+		i := col(a.Col)
+		if i < 0 {
+			return fmt.Errorf("server: relation %q has no column %q", decl.Name, a.Col)
+		}
+		if err := checkAttrType(decl, i, a.Val); err != nil {
+			return err
+		}
+	}
+	for _, c := range st.Where {
+		if col(c.Col) < 0 {
+			return fmt.Errorf("server: relation %q has no column %q", decl.Name, c.Col)
+		}
+	}
+	return nil
+}
+
+func checkAttrType(decl *datalog.RelDecl, i int, v value.Value) error {
+	if i >= len(decl.Attrs) {
+		return nil // arity errors are the engine's, with its message
+	}
+	a := decl.Attrs[i]
+	ok := false
+	switch a.Type {
+	case "int":
+		ok = v.Kind() == value.KindInt
+	case "float":
+		ok = v.Kind() == value.KindFloat || v.Kind() == value.KindInt
+	case "bool":
+		ok = v.Kind() == value.KindBool
+	case "string", "date":
+		ok = v.Kind() == value.KindString
+	default:
+		ok = true // unknown declared type: no constraint to enforce
+	}
+	if !ok && v.Kind() != value.KindNull {
+		return fmt.Errorf("server: column %s.%s is %s, got %s", decl.Name, a.Name, a.Type, v)
+	}
+	return nil
+}
+
+// --- relations -------------------------------------------------------------
+
+// relationJSON is one relation in a query response. Rows are sorted by the
+// engine's total value order, so responses are deterministic.
+type relationJSON struct {
+	Name  string        `json:"name"`
+	Arity int           `json:"arity"`
+	Count int           `json:"count"`
+	Rows  [][]wireValue `json:"rows"`
+}
+
+func encodeRelation(name string, r *value.Relation) relationJSON {
+	out := relationJSON{Name: name, Arity: r.Arity(), Count: r.Len(), Rows: make([][]wireValue, 0, r.Len())}
+	for _, t := range r.Sorted() {
+		row := make([]wireValue, len(t))
+		for i, v := range t {
+			row[i] = wireValue{v}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// decodeRelation rebuilds a value.Relation from a wire relation — the
+// client half of the round trip, used by the test harness and birdsload.
+func decodeRelation(r relationJSON) *value.Relation {
+	rel := value.NewRelation(r.Arity)
+	for _, row := range r.Rows {
+		t := make(value.Tuple, len(row))
+		for i, v := range row {
+			t[i] = v.v
+		}
+		rel.Add(t)
+	}
+	return rel
+}
