@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"testing"
 
 	"birds"
@@ -29,6 +30,17 @@ import (
 	"birds/internal/sat"
 	"birds/internal/value"
 )
+
+// benchEnvInt reads an integer benchmark tunable from the environment,
+// falling back to def when unset or malformed.
+func benchEnvInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			return v
+		}
+	}
+	return def
+}
 
 func benchOracle() sat.Config {
 	return sat.Config{
@@ -243,6 +255,12 @@ func BenchmarkBatchedDML(b *testing.B) {
 // for this PR is flush/batch=64 < 2× the PR 4 in-memory per-write figure.
 func BenchmarkWALDML(b *testing.B) {
 	const n = 10000
+	// BIRDS_WAL_SEGMENT_BYTES / BIRDS_WAL_CHECKPOINT_EVERY select the
+	// segmented-log + background-checkpoint configuration (rotation and
+	// off-lock snapshot persistence inside the timed region). The defaults
+	// keep the historical single-file, checkpoint-free measurement.
+	segBytes := int64(benchEnvInt("BIRDS_WAL_SEGMENT_BYTES", 0))
+	ckptEvery := benchEnvInt("BIRDS_WAL_CHECKPOINT_EVERY", -1)
 	// Synced modes run before "off": the off-mode fixtures leave the whole
 	// log as dirty page cache, and kernel writeback of those pages would
 	// contend with the timed fsyncs of any sub-benchmark running after.
@@ -250,7 +268,12 @@ func BenchmarkWALDML(b *testing.B) {
 		for _, batch := range []int{64, 1} {
 			mode, batch := mode, batch
 			b.Run(fmt.Sprintf("fsync=%s/batch=%d", mode, batch), func(b *testing.B) {
-				db, bt, err := bench.SetupBatchedDMLDurable(n, batch, 1, b.TempDir(), mode)
+				db, bt, err := bench.SetupBatchedDMLDurableOpts(n, batch, 1, birds.DurabilityOptions{
+					Dir:             b.TempDir(),
+					Sync:            mode,
+					SegmentBytes:    segBytes,
+					CheckpointEvery: ckptEvery,
+				})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -98,7 +98,8 @@ type (
 	// BatchOptions configures a Batcher's flush triggers.
 	BatchOptions = engine.BatchOptions
 	// DurabilityOptions configures DB.EnableDurability: the write-ahead-log
-	// directory, the fsync mode, and the automatic checkpoint cadence.
+	// directory, the fsync mode, the automatic checkpoint cadence, and the
+	// WAL segment rotation threshold.
 	DurabilityOptions = engine.DurabilityOptions
 	// RecoverStats summarizes a Recover: loaded checkpoint LSN, last
 	// replayed LSN, records replayed, and whether a torn tail was skipped.
@@ -123,6 +124,15 @@ const (
 // DefaultCheckpointEvery is the automatic-checkpoint record cadence used
 // when DurabilityOptions.CheckpointEvery is 0.
 const DefaultCheckpointEvery = engine.DefaultCheckpointEvery
+
+// DefaultSegmentBytes is the WAL segment rotation threshold used when
+// DurabilityOptions.SegmentBytes is 0.
+const DefaultSegmentBytes = wal.DefaultSegmentBytes
+
+// ErrReadOnly is returned (wrapped) by every write path while the engine is
+// in read-only degraded mode after a storage failure; DB.Reopen recovers
+// from disk and restores writes. Test with errors.Is.
+var ErrReadOnly = engine.ErrReadOnly
 
 // ParseSyncMode parses "off", "commit" or "flush" into a SyncMode.
 var ParseSyncMode = wal.ParseSyncMode

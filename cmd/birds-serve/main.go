@@ -46,15 +46,21 @@ func run() error {
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout,
 		"per-request timeout, including the wait for the transaction's flush")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size cap in bytes")
+	maxInflight := flag.Int("max-inflight", server.DefaultMaxInflight,
+		"shed data-plane requests beyond this many in flight with 503 + Retry-After (negative disables shedding)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"graceful-shutdown deadline on SIGTERM/SIGINT: in-flight requests get this long before the final flush and checkpoint")
 	durable := flag.String("durable", "",
 		"write-ahead-log directory: recover it on boot if it holds durable state, else start empty with durability enabled")
 	fsync := flag.String("fsync", "flush",
 		"WAL fsync mode with -durable: off, commit (every record), or flush (one fsync per group-commit batch)")
+	segmentBytes := flag.Int64("wal-segment-bytes", 0,
+		"WAL segment rotation threshold with -durable: 0 selects the default, negative keeps one unbounded segment")
 	addrFile := flag.String("addr-file", "",
 		"write the bound listen address to this file once serving (for test harnesses using -addr :0)")
 	flag.Parse()
 
-	db, err := openDB(*durable, *fsync)
+	db, err := openDB(*durable, *fsync, *segmentBytes)
 	if err != nil {
 		return err
 	}
@@ -65,6 +71,7 @@ func run() error {
 		FlushInterval:  *flushInterval,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
+		MaxInflight:    *maxInflight,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -97,7 +104,7 @@ func run() error {
 	// Stop accepting, let in-flight requests finish (bounded), then flush
 	// the remaining batch and checkpoint — every acknowledged AND every
 	// admitted-but-unflushed transaction commits before exit.
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "birds-serve: shutdown:", err)
@@ -108,7 +115,7 @@ func run() error {
 // openDB boots the database: plain in-memory without -durable; with it,
 // recover the directory's durable state or enable durability on a fresh
 // directory (the birds-shell boot pattern).
-func openDB(dir, fsync string) (*birds.DB, error) {
+func openDB(dir, fsync string, segmentBytes int64) (*birds.DB, error) {
 	if dir == "" {
 		return birds.NewDB(), nil
 	}
@@ -126,7 +133,7 @@ func openDB(dir, fsync string) (*birds.DB, error) {
 		return db, nil
 	}
 	db := birds.NewDB()
-	if err := db.EnableDurability(birds.DurabilityOptions{Dir: dir, Sync: syncMode}); err != nil {
+	if err := db.EnableDurability(birds.DurabilityOptions{Dir: dir, Sync: syncMode, SegmentBytes: segmentBytes}); err != nil {
 		return nil, err
 	}
 	return db, nil

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -35,6 +36,8 @@ type result struct {
 	WritesPerSess int     `json:"writes_per_session"`
 	Requests      int     `json:"requests"`
 	Errors        int     `json:"errors"`
+	Retries       int     `json:"retries"`
+	Shed          int     `json:"shed"`
 	WallMS        float64 `json:"wall_ms"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50us         float64 `json:"p50_us"`
@@ -58,6 +61,7 @@ func run() error {
 	sessions := flag.String("sessions", "1,8,64", "comma-separated sweep of concurrent session counts")
 	writes := flag.Int("writes", 500, "acknowledged write transactions per session")
 	setup := flag.Bool("setup", false, "create the items table and luxury view fixture first (idempotent only on a fresh server)")
+	retries := flag.Int("max-retries", 5, "retry budget per write for transient failures (connection errors, 503 shed/overload)")
 	jsonOut := flag.String("json", "", "write the results array to this file")
 	label := flag.String("label", "", "label recorded with each result (e.g. batched/unbatched)")
 	flag.Parse()
@@ -84,13 +88,13 @@ func run() error {
 	var results []any
 	idBase := 1_000_000 // keep sweep points in disjoint id ranges
 	for _, n := range levels {
-		res, err := sweep(base, n, *writes, idBase)
+		res, err := sweep(base, n, *writes, idBase, *retries)
 		if err != nil {
 			return err
 		}
 		idBase += 2 * n * (*writes + 2)
-		fmt.Printf("sessions=%-3d writes/sess=%-5d throughput=%8.0f req/s  p50=%7.0fµs p95=%7.0fµs p99=%7.0fµs  txns/flush=%.1f\n",
-			n, *writes, res.ThroughputRPS, res.P50us, res.P95us, res.P99us, res.TxnsPerFlush)
+		fmt.Printf("sessions=%-3d writes/sess=%-5d throughput=%8.0f req/s  p50=%7.0fµs p95=%7.0fµs p99=%7.0fµs  txns/flush=%.1f  retries=%d shed=%d errs=%d\n",
+			n, *writes, res.ThroughputRPS, res.P50us, res.P95us, res.P99us, res.TxnsPerFlush, res.Retries, res.Shed, res.Errors)
 		if *label != "" {
 			results = append(results, struct {
 				Label string `json:"label"`
@@ -113,7 +117,7 @@ func run() error {
 
 // sweep runs one concurrency level: n sessions, each issuing `writes`
 // acknowledged transactions into a private id range.
-func sweep(base string, n, writes, idBase int) (result, error) {
+func sweep(base string, n, writes, idBase, maxRetries int) (result, error) {
 	// One pooled connection per session: the default transport keeps only
 	// two idle connections per host, which would turn a 64-session sweep
 	// into a TCP re-dial storm and measure the dialer instead of the
@@ -129,12 +133,15 @@ func sweep(base string, n, writes, idBase int) (result, error) {
 
 	lat := make([][]time.Duration, n)
 	errCounts := make([]int, n)
+	retryCounts := make([]int, n)
+	shedCounts := make([]int, n)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < n; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
 			sess := fmt.Sprintf("load-%d", w)
 			lo := idBase + 2*w*(writes+2)
 			lat[w] = make([]time.Duration, 0, writes)
@@ -150,8 +157,14 @@ func sweep(base string, n, writes, idBase int) (result, error) {
 						"where": []map[string]any{{"col": "iid", "op": "=", "val": id - 1}},
 					})
 				}
+				// Latency spans the whole acked attempt, backoffs included:
+				// under shedding the client-observed commit latency is what a
+				// real session would see.
 				t0 := time.Now()
-				err := post(client, base+"/exec", map[string]any{"stmts": stmts, "session": sess}, nil)
+				r, s, err := execRetry(client, base+"/exec",
+					map[string]any{"stmts": stmts, "session": sess}, maxRetries, rng)
+				retryCounts[w] += r
+				shedCounts[w] += s
 				if err != nil {
 					errCounts[w]++
 					continue
@@ -169,10 +182,12 @@ func sweep(base string, n, writes, idBase int) (result, error) {
 	}
 
 	var all []time.Duration
-	errs := 0
+	errs, nRetries, nShed := 0, 0, 0
 	for w := range lat {
 		all = append(all, lat[w]...)
 		errs += errCounts[w]
+		nRetries += retryCounts[w]
+		nShed += shedCounts[w]
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	res := result{
@@ -180,6 +195,8 @@ func sweep(base string, n, writes, idBase int) (result, error) {
 		WritesPerSess: writes,
 		Requests:      len(all),
 		Errors:        errs,
+		Retries:       nRetries,
+		Shed:          nShed,
 		WallMS:        float64(wall.Microseconds()) / 1e3,
 		Flushes:       after.Flushes - bs.Flushes,
 		Admitted:      after.Admitted - bs.Admitted,
@@ -232,19 +249,75 @@ func post(client *http.Client, url string, body any, out any) error {
 	if err != nil {
 		return err
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	code, _, data, err := doPost(client, url, buf)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	data, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(data))
+	if code != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d: %s", url, code, bytes.TrimSpace(data))
 	}
 	if out != nil {
 		return json.Unmarshal(data, out)
 	}
 	return nil
+}
+
+// doPost issues one POST and reports the status code, the Retry-After
+// header, and the body. err is non-nil only for transport failures.
+func doPost(client *http.Client, url string, buf []byte) (int, string, []byte, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header.Get("Retry-After"), data, nil
+}
+
+// execRetry posts a write with a transient-failure budget: transport errors
+// (connection reset, refused) and 503 (the server shedding load or riding
+// out a degraded spell) are retried with capped exponential backoff plus
+// jitter, sleeping at least Retry-After when the server names a delay. Any
+// other non-200 is permanent. Returns the retries consumed and the 503s
+// absorbed alongside the final error, so the sweep can report how hard the
+// server pushed back even when every write eventually lands.
+func execRetry(client *http.Client, url string, body any, maxRetries int, rng *rand.Rand) (retries, shed int, err error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	backoff := 5 * time.Millisecond
+	const maxBackoff = 500 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		code, retryAfter, data, err := doPost(client, url, buf)
+		if err == nil {
+			if code == http.StatusOK {
+				return retries, shed, nil
+			}
+			if code != http.StatusServiceUnavailable {
+				return retries, shed, fmt.Errorf("%s: HTTP %d: %s", url, code, bytes.TrimSpace(data))
+			}
+			shed++
+		}
+		if attempt == maxRetries {
+			if err == nil {
+				err = fmt.Errorf("%s: HTTP %d after %d retries: %s", url, code, retries, bytes.TrimSpace(data))
+			}
+			return retries, shed, err
+		}
+		sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
+		if s, perr := strconv.Atoi(strings.TrimSpace(retryAfter)); perr == nil && s > 0 {
+			if ra := time.Duration(s) * time.Second; ra > sleep {
+				sleep = ra
+			}
+		}
+		time.Sleep(sleep)
+		retries++
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
 }
 
 type batcherCounters struct {

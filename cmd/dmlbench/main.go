@@ -12,9 +12,16 @@
 //
 // -durable attaches a write-ahead log to every measured configuration
 // (each gets a fresh subdirectory), and -fsync picks the sync mode, so the
-// durability tax of each mode is measurable against the in-memory numbers:
+// durability tax of each mode is measurable against the in-memory numbers.
+// -wal-segment-bytes and -checkpoint-every additionally exercise segment
+// rotation and *background* checkpoints inside the measured stream; because
+// checkpoints persist off the engine lock, the p99 column with checkpoints
+// enabled should stay close to the checkpoint-free p99 (that comparison is
+// the "checkpoints block no write" acceptance check):
 //
 //	$ go run ./cmd/dmlbench -durable /tmp/walbench -fsync flush
+//	$ go run ./cmd/dmlbench -durable /tmp/walbench -fsync flush \
+//	    -wal-segment-bytes 262144 -checkpoint-every 2048
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -41,6 +49,8 @@ func main() {
 		flushEvery = flag.Duration("flush-interval", 0, "interval flush trigger for the single-configuration run (0 = size trigger only)")
 		durable    = flag.String("durable", "", "write-ahead-log directory: attach a WAL to every configuration (each batch size logs into its own subdirectory)")
 		fsync      = flag.String("fsync", "flush", "WAL fsync mode with -durable: off, commit, or flush")
+		segBytes   = flag.Int64("wal-segment-bytes", 0, "with -durable: rotate WAL segments at this size (0 = engine default)")
+		ckptEvery  = flag.Int("checkpoint-every", -1, "with -durable: background-checkpoint every N WAL records (-1 disables, 0 = engine default)")
 	)
 	flag.Parse()
 
@@ -75,15 +85,16 @@ func main() {
 	}
 
 	if *durable != "" {
-		fmt.Printf("dmlbench: n=%d writes=%d stream=%s durable=%s fsync=%s\n",
-			*n, *writes, *stream, *durable, syncMode)
+		fmt.Printf("dmlbench: n=%d writes=%d stream=%s durable=%s fsync=%s segment-bytes=%d checkpoint-every=%d\n",
+			*n, *writes, *stream, *durable, syncMode, *segBytes, *ckptEvery)
 	} else {
 		fmt.Printf("dmlbench: n=%d writes=%d stream=%s\n", *n, *writes, *stream)
 	}
-	fmt.Printf("%-12s %14s %14s\n", "batch", "ns/write", "writes/s")
+	fmt.Printf("%-12s %14s %14s %12s %12s %12s\n",
+		"batch", "ns/write", "writes/s", "p50", "p95", "p99")
 	var base float64
 	for _, bs := range sizes {
-		perWrite, err := run(*n, *writes, bs, *flushEvery, txn, *durable, syncMode)
+		perWrite, lat, err := run(*n, *writes, bs, *flushEvery, txn, *durable, syncMode, *segBytes, *ckptEvery)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmlbench:", err)
 			os.Exit(1)
@@ -91,50 +102,70 @@ func main() {
 		if base == 0 {
 			base = perWrite
 		}
-		fmt.Printf("%-12d %14.0f %14.0f   (%.2fx vs batch=%d)\n",
-			bs, perWrite, 1e9/perWrite, base/perWrite, sizes[0])
+		fmt.Printf("%-12d %14.0f %14.0f %12v %12v %12v   (%.2fx vs batch=%d)\n",
+			bs, perWrite, 1e9/perWrite,
+			pct(lat, 0.50), pct(lat, 0.95), pct(lat, 0.99),
+			base/perWrite, sizes[0])
 	}
+}
+
+// pct returns the q-quantile of a sorted latency sample.
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
 }
 
 // run measures one configuration: writes transactions through a fresh
 // fixture and batcher, returning the amortized ns per write (final flush
-// included). With durableDir set, the fixture logs into a per-batch-size
-// subdirectory so the sweep's configurations don't share a WAL.
-func run(n, writes, batch int, flushEvery time.Duration, txn func(*engine.Batcher, int, int) error, durableDir string, sync wal.SyncMode) (float64, error) {
+// included) and the sorted per-write latency sample. With durableDir set,
+// the fixture logs into a per-batch-size subdirectory so the sweep's
+// configurations don't share a WAL.
+func run(n, writes, batch int, flushEvery time.Duration, txn func(*engine.Batcher, int, int) error, durableDir string, sync wal.SyncMode, segBytes int64, ckptEvery int) (float64, []time.Duration, error) {
 	var db *engine.DB
 	var bt *engine.Batcher
 	var err error
 	if durableDir != "" {
 		dir := filepath.Join(durableDir, fmt.Sprintf("batch%d", batch))
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
-		db, bt, err = bench.SetupBatchedDMLDurable(n, batch, 1, dir, sync)
+		db, bt, err = bench.SetupBatchedDMLDurableOpts(n, batch, 1, engine.DurabilityOptions{
+			Dir:             dir,
+			Sync:            sync,
+			SegmentBytes:    segBytes,
+			CheckpointEvery: ckptEvery,
+		})
 	} else {
 		db, bt, err = bench.SetupBatchedDML(n, batch, 1)
 	}
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	defer db.Close()
 	if flushEvery > 0 {
 		bt.Close()
 		bt = db.Batch(engine.BatchOptions{MaxTxns: batch, FlushInterval: flushEvery})
 	}
+	lat := make([]time.Duration, 0, writes)
 	start := time.Now()
 	for i := 1; i <= writes; i++ {
+		t0 := time.Now()
 		if err := txn(bt, n, i); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
+		lat = append(lat, time.Since(t0))
 	}
 	if err := bt.Close(); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	elapsed := time.Since(start)
 	for _, vn := range bench.DMLMaintenanceViews() {
 		if db.Stale(vn) {
-			return 0, fmt.Errorf("view %s fell off the incremental path", vn)
+			return 0, nil, fmt.Errorf("view %s fell off the incremental path", vn)
 		}
 	}
-	return float64(elapsed.Nanoseconds()) / float64(writes), nil
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return float64(elapsed.Nanoseconds()) / float64(writes), lat, nil
 }

@@ -215,11 +215,21 @@ func BatchedDMLTxn(bt *engine.Batcher, n, i int) error {
 // Automatic checkpoints are disabled: the benchmark isolates the per-record
 // append/fsync cost (and leaves a log tail for the recovery benchmark).
 func SetupBatchedDMLDurable(n, batch int, seed int64, dir string, sync wal.SyncMode) (*engine.DB, *engine.Batcher, error) {
+	return SetupBatchedDMLDurableOpts(n, batch, seed,
+		engine.DurabilityOptions{Dir: dir, Sync: sync, CheckpointEvery: -1})
+}
+
+// SetupBatchedDMLDurableOpts is SetupBatchedDMLDurable with the durability
+// configuration fully under the caller's control, so benchmarks can measure
+// the segmented-log + background-checkpoint configuration (rotation and
+// concurrent snapshot persistence inside the timed region) against the
+// plain append-only one.
+func SetupBatchedDMLDurableOpts(n, batch int, seed int64, opts engine.DurabilityOptions) (*engine.DB, *engine.Batcher, error) {
 	db, bt, err := SetupBatchedDML(n, batch, seed)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := db.EnableDurability(engine.DurabilityOptions{Dir: dir, Sync: sync, CheckpointEvery: -1}); err != nil {
+	if err := db.EnableDurability(opts); err != nil {
 		return nil, nil, err
 	}
 	return db, bt, nil

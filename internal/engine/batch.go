@@ -318,9 +318,18 @@ func (b *Batcher) ExecAsync(stmts ...Statement) (seq uint64, c Commit, err error
 
 	db := b.db
 	db.mu.RLock()
+	var roErr error
+	if db.ro != nil {
+		roErr = db.readOnlyErrLocked()
+	}
 	decl, isTable := db.tables[target]
 	_, isView := db.views[target]
 	db.mu.RUnlock()
+	if roErr != nil {
+		// Degraded mode: fail fast at admission rather than staging work
+		// that the flush would reject anyway.
+		return fail(roErr)
+	}
 	switch {
 	case isTable:
 	case isView:
@@ -390,6 +399,34 @@ func (b *Batcher) Close() error {
 	err := b.flushLocked()
 	b.closed = true
 	return err
+}
+
+// Discard drops the staged batch without flushing it and closes the
+// handle. The staged transactions were never WAL-logged, so dropping them
+// keeps the store and the log in agreement — this is the degraded-mode
+// retirement path (DB.Reopen), where flushing is impossible. A pending
+// commit ticket resolves with cause (errBatcherClosed when nil), so
+// waiters learn their transactions were not applied.
+func (b *Batcher) Discard(cause error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.disarmTimerLocked()
+	if b.txns > 0 {
+		if cause == nil {
+			cause = errBatcherClosed
+		}
+		b.resolveTicketLocked(fmt.Errorf("engine: batch discarded before flush: %w", cause))
+	} else {
+		b.resolveTicketLocked(nil)
+	}
+	b.stage = eval.NewDatabase()
+	b.staged = make(map[string]int)
+	b.txns = 0
+	b.stagedRows = 0
+	b.closed = true
 }
 
 // flushLocked is Flush with b.mu held. It resolves the batch's commit

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Read-only degraded mode.
+//
+// When a durable write fails (WAL append, fsync, segment rotation), the
+// log has poisoned itself — the fsyncgate rule: after a failed write or
+// fsync the kernel may have dropped the dirty pages while keeping the file
+// position, so retrying the append could silently skip bytes. The engine
+// therefore stops accepting writes entirely: the in-flight transaction or
+// batch was rolled back by its hook site (the store never kept a write the
+// WAL didn't take), and every later write fails fast with ErrReadOnly
+// while reads, snapshots and view queries keep being served from the
+// intact in-memory state.
+//
+// The only way back is DB.Reopen: it discards the in-memory state and the
+// poisoned log handle, re-runs recovery from the durable files (which
+// contain exactly the acknowledged writes), and swaps the recovered state
+// in. If the disk is still failing, Reopen fails and the engine stays
+// degraded — still serving reads.
+
+// ErrReadOnly is returned (wrapped) by every write path while the engine
+// is in read-only degraded mode. Test with errors.Is.
+var ErrReadOnly = errors.New("engine: read-only (degraded after storage failure)")
+
+// ReadOnly returns the storage failure that forced read-only degraded
+// mode, or nil when the engine accepts writes.
+func (db *DB) ReadOnly() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ro
+}
+
+// readOnlyErrLocked renders the degraded-mode error, wrapping ErrReadOnly
+// around the root cause. Callers hold db.mu (read or write).
+func (db *DB) readOnlyErrLocked() error {
+	return fmt.Errorf("%w: %v", ErrReadOnly, db.ro)
+}
+
+// Reopen recovers the engine from its own durability directory after a
+// storage failure forced read-only degraded mode: it waits out any
+// background checkpoint, discards the in-memory state and the poisoned
+// log, re-runs recovery from disk (checkpoint + WAL tail — exactly the
+// acknowledged writes), and swaps the recovered state in, re-arming
+// durability and clearing degraded mode. Batching configuration survives.
+// On failure the engine stays degraded (reads keep working) and Reopen can
+// be retried.
+func (db *DB) Reopen() error {
+	db.mu.Lock()
+	if db.dur == nil {
+		db.mu.Unlock()
+		return fmt.Errorf("engine: reopen: durability is not enabled")
+	}
+	if db.ro == nil {
+		db.mu.Unlock()
+		return fmt.Errorf("engine: reopen: engine is not in read-only mode")
+	}
+	if db.reopening {
+		db.mu.Unlock()
+		return fmt.Errorf("engine: reopen already in progress")
+	}
+	db.reopening = true
+	d := db.dur
+	roErr := db.readOnlyErrLocked()
+	db.mu.Unlock()
+
+	fail := func(err error) error {
+		db.mu.Lock()
+		db.reopening = false
+		db.mu.Unlock()
+		return err
+	}
+
+	// Wait for any in-flight background checkpoint without holding db.mu
+	// (its goroutine takes db.mu to finish).
+	d.ckptWG.Wait()
+
+	// Retire the old batcher: anything staged was never logged, so it is
+	// correctly dropped; a pending flush ticket resolves with ErrReadOnly.
+	if old := db.batcher.Swap(nil); old != nil {
+		old.Discard(roErr)
+	}
+	d.log.Close() // poisoned: Close skips the sync, just releases the fd
+
+	db2, _, err := RecoverFS(d.opts.FS, d.opts.Dir)
+	if err != nil {
+		return fail(fmt.Errorf("engine: reopen: %w", err))
+	}
+
+	// The recovered engine's batcher (restored from the checkpointed
+	// config) is bound to db2's mutex; strip it and re-create it on db
+	// after the swap.
+	var batchOpts *BatchOptions
+	if b2 := db2.batcher.Swap(nil); b2 != nil {
+		o := b2.opts
+		batchOpts = &o
+		b2.Discard(errBatcherClosed)
+	}
+
+	db.mu.Lock()
+	db.store = db2.store
+	db.tables = db2.tables
+	db.views = db2.views
+	db.dirty = db2.dirty
+	db.viewOrder = db2.viewOrder
+	db.parallelism = db2.parallelism
+	db.dur = db2.dur
+	db.ro = nil
+	db.reopening = false
+	db.mu.Unlock()
+
+	if batchOpts != nil {
+		db.SetBatching(*batchOpts)
+	}
+	return nil
+}

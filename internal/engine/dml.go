@@ -112,6 +112,9 @@ func (db *DB) execDirect(stmts []Statement) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.ro != nil {
+		return db.readOnlyErrLocked()
+	}
 	target := stmts[0].Target
 	if _, ok := db.tables[target]; ok {
 		return db.execTable(target, stmts)

@@ -2,9 +2,8 @@ package engine
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
+	"sync"
 
 	"birds/internal/datalog"
 	"birds/internal/eval"
@@ -25,11 +24,20 @@ import (
 //   - a failed append leaves the store untouched (the hook sites roll
 //     back) and the write reports an error — the WAL never acknowledges a
 //     write the store didn't take, and the store never keeps a write the
-//     WAL didn't take;
+//     WAL didn't take. The failed append also poisoned the log (the
+//     fsyncgate rule: a file whose page-cache state is unknown is never
+//     retried), so the engine transitions to read-only degraded mode
+//     (degrade.go): reads keep working, writes fail fast with ErrReadOnly
+//     until DB.Reopen recovers from disk;
 //   - periodic checkpoints snapshot the base tables plus the DDL catalog
-//     and truncate the log; views and their support counts are NOT
-//     checkpointed — Recover re-derives them from base state through the
-//     counted IVM initialization;
+//     and garbage-collect fully-covered WAL segments; views and their
+//     support counts are NOT checkpointed — Recover re-derives them from
+//     base state through the counted IVM initialization. Automatic
+//     checkpoints run in the BACKGROUND: the trigger (under the write
+//     lock) takes O(1) copy-on-write snapshots of the base tables and
+//     rotates the log, then a goroutine encodes and persists them while
+//     new appends land in the next segment — a checkpoint never stalls
+//     writes for the duration of its disk I/O;
 //   - Recover loads the latest valid checkpoint, replays the WAL tail
 //     (skipping a torn trailing record, erroring on mid-log corruption)
 //     and leaves the engine identical to an uninterrupted run over the
@@ -39,8 +47,8 @@ import (
 // log order identical to commit order without any extra coordination.
 
 // DefaultCheckpointEvery is the automatic-checkpoint trigger used when
-// DurabilityOptions.CheckpointEvery is 0: a snapshot is taken (and the log
-// truncated) after this many WAL records.
+// DurabilityOptions.CheckpointEvery is 0: a snapshot is taken (and covered
+// segments removed) after this many WAL records.
 const DefaultCheckpointEvery = 4096
 
 // DurabilityOptions configures EnableDurability.
@@ -57,15 +65,26 @@ type DurabilityOptions struct {
 	// checkpoints. 0 selects DefaultCheckpointEvery; negative disables
 	// automatic checkpoints (explicit Checkpoint only).
 	CheckpointEvery int
+	// SegmentBytes is the WAL segment rotation threshold. 0 selects
+	// wal.DefaultSegmentBytes; negative keeps one unbounded segment.
+	SegmentBytes int64
+	// FS, when non-nil, substitutes the filesystem behind every durable
+	// file operation — the fault-injection seam (wal.FaultFS). nil is the
+	// process filesystem.
+	FS wal.FS
 }
 
 // durability is the engine-side durability state, guarded by db.mu (every
-// write path already holds the write lock at its WAL hook).
+// write path already holds the write lock at its WAL hook) — except
+// ckptWG, which Reopen/DisableDurability wait on WITHOUT holding db.mu
+// (the background checkpoint goroutine takes db.mu to finish).
 type durability struct {
 	log       *wal.Log
 	opts      DurabilityOptions
-	sinceCkpt int   // records appended since the last checkpoint
+	sinceCkpt int   // records appended since the last checkpoint cut
 	ckptErr   error // last automatic-checkpoint failure (retried, surfaced by Checkpoint)
+	ckptBusy  bool  // a background checkpoint is writing
+	ckptWG    sync.WaitGroup
 }
 
 // EnableDurability opens a write-ahead log in opts.Dir and takes an
@@ -84,10 +103,10 @@ func (db *DB) EnableDurability(opts DurabilityOptions) error {
 	if db.dur != nil {
 		return fmt.Errorf("engine: durability already enabled (dir %s)", db.dur.opts.Dir)
 	}
-	if hasDurableState(opts.Dir) {
+	if hasDurableState(opts.FS, opts.Dir) {
 		return fmt.Errorf("engine: %s already holds durable state; use Recover", opts.Dir)
 	}
-	log, err := wal.Open(opts.Dir, 1)
+	log, err := wal.Open(opts.FS, opts.Dir, 1, opts.SegmentBytes)
 	if err != nil {
 		return err
 	}
@@ -103,18 +122,15 @@ func (db *DB) EnableDurability(opts DurabilityOptions) error {
 // HasDurableState reports whether dir holds recoverable durable state (a
 // checkpoint or a non-empty WAL): true means open the directory with
 // Recover, false means a fresh EnableDurability is safe.
-func HasDurableState(dir string) bool { return hasDurableState(dir) }
+func HasDurableState(dir string) bool { return hasDurableState(nil, dir) }
 
 // hasDurableState reports whether dir holds a checkpoint or a non-empty
 // WAL (an unreadable checkpoint also counts — refusing is the safe side).
-func hasDurableState(dir string) bool {
-	if ck, err := wal.LatestCheckpoint(dir); err != nil || ck != nil {
+func hasDurableState(fsys wal.FS, dir string) bool {
+	if ck, err := wal.LatestCheckpoint(fsys, dir); err != nil || ck != nil {
 		return true
 	}
-	if st, err := os.Stat(filepath.Join(dir, wal.LogName)); err == nil && st.Size() > 0 {
-		return true
-	}
-	return false
+	return wal.HasLogData(fsys, dir)
 }
 
 // Durable reports whether a write-ahead log is attached.
@@ -135,7 +151,7 @@ func (db *DB) LastLSN() uint64 {
 	return db.dur.log.LastLSN()
 }
 
-// WALLog exposes the attached log for fault injection in tests; nil when
+// WALLog exposes the attached log for tests and benchmarks; nil when
 // durability is off.
 func (db *DB) WALLog() *wal.Log {
 	db.mu.RLock()
@@ -146,17 +162,21 @@ func (db *DB) WALLog() *wal.Log {
 	return db.dur.log
 }
 
-// DisableDurability syncs and detaches the write-ahead log. The directory
-// remains recoverable (checkpoint + log tail).
+// DisableDurability syncs and detaches the write-ahead log, waiting out
+// any background checkpoint first. The directory remains recoverable
+// (checkpoint + log tail). Detaching also clears read-only degraded mode:
+// without a log there is nothing left to protect.
 func (db *DB) DisableDurability() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.dur == nil {
+	d := db.dur
+	db.dur = nil
+	db.ro = nil
+	db.mu.Unlock()
+	if d == nil {
 		return nil
 	}
-	err := db.dur.log.Close()
-	db.dur = nil
-	return err
+	d.ckptWG.Wait()
+	return d.log.Close()
 }
 
 // Close flushes any pending batch, syncs and detaches the write-ahead log.
@@ -170,15 +190,18 @@ func (db *DB) Close() error {
 	return derr
 }
 
-// Checkpoint snapshots the base tables and the DDL catalog, then truncates
-// the WAL. If an earlier automatic checkpoint failed, the error surfaces
-// here (the write it followed was durable regardless — the log still held
-// every record).
+// Checkpoint synchronously snapshots the base tables and the DDL catalog,
+// then removes fully-covered WAL segments. If an earlier automatic
+// checkpoint failed, the error surfaces here (the write it followed was
+// durable regardless — the log still held every record).
 func (db *DB) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.dur == nil {
 		return fmt.Errorf("engine: durability is not enabled")
+	}
+	if db.ro != nil {
+		return db.readOnlyErrLocked()
 	}
 	if err := db.checkpointLocked(); err != nil {
 		return err
@@ -188,21 +211,40 @@ func (db *DB) Checkpoint() error {
 	return err
 }
 
-// checkpointLocked writes a snapshot at the current last LSN and truncates
-// the log. Must run under the write lock, at a point where the store
-// contains the effects of every appended record (never between an append
-// and its store apply).
-func (db *DB) checkpointLocked() error {
+// ckptSnap is a checkpoint cut captured under the write lock: the catalog
+// and an O(1) copy-on-write snapshot of every base table, stamped at the
+// last LSN, plus the first LSN of the active segment after the cut's
+// rotation — every sealed segment below it is garbage once the snapshot
+// is durable. Encoding and persisting a ckptSnap needs no engine lock.
+type ckptSnap struct {
+	ck     *wal.Checkpoint
+	rels   []*value.Relation // per-table COW snapshots, parallel to ck.Tables
+	gcFrom uint64
+}
+
+// snapshotLocked cuts a checkpoint at the current last LSN: it rotates
+// the log so the cut covers only sealed segments, captures the catalog,
+// and snapshots every base table copy-on-write — O(tables), not O(rows).
+// Must run under the write lock, at a point where the store contains the
+// effects of every appended record (never between an append and its store
+// apply).
+func (db *DB) snapshotLocked() (*ckptSnap, error) {
 	d := db.dur
+	gcFrom, err := d.log.RotateForCheckpoint()
+	if err != nil {
+		return nil, err
+	}
 	ck := &wal.Checkpoint{
 		LSN:             d.log.LastLSN(),
 		Sync:            d.opts.Sync,
 		CheckpointEvery: d.opts.CheckpointEvery,
+		SegmentBytes:    d.opts.SegmentBytes,
 		Parallelism:     db.parallelism,
 	}
 	if b := db.batcher.Load(); b != nil {
 		ck.Batching = &wal.BatchConfig{MaxTxns: b.opts.MaxTxns, FlushInterval: b.opts.FlushInterval}
 	}
+	snap := &ckptSnap{ck: ck, gcFrom: gcFrom}
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
@@ -214,10 +256,8 @@ func (db *DB) checkpointLocked() error {
 		for _, a := range decl.Attrs {
 			ts.Attrs = append(ts.Attrs, wal.AttrState{Name: a.Name, Type: a.Type})
 		}
-		rel := db.store.RelOrEmpty(datalog.Pred(n), decl.Arity())
-		ts.Rows = make([]value.Tuple, 0, rel.Len())
-		rel.Each(func(t value.Tuple) { ts.Rows = append(ts.Rows, t) })
 		ck.Tables = append(ck.Tables, ts)
+		snap.rels = append(snap.rels, db.store.RelOrEmpty(datalog.Pred(n), decl.Arity()).Snapshot())
 	}
 	// Views in dependency order (sources first), so recovery can re-create
 	// them with every source already registered.
@@ -229,21 +269,54 @@ func (db *DB) checkpointLocked() error {
 		}
 		ck.Views = append(ck.Views, vs)
 	}
-	if err := wal.WriteCheckpoint(d.opts.Dir, ck); err != nil {
+	return snap, nil
+}
+
+// persist encodes the snapshot's rows from its COW relations, writes the
+// checkpoint atomically and removes the WAL segments it covers. It takes
+// no engine locks: the background checkpoint path runs it concurrently
+// with new writes.
+func (d *durability) persist(s *ckptSnap) error {
+	for i := range s.ck.Tables {
+		rel := s.rels[i]
+		rows := make([]value.Tuple, 0, rel.Len())
+		rel.Each(func(t value.Tuple) { rows = append(rows, t) })
+		s.ck.Tables[i].Rows = rows
+	}
+	if err := wal.WriteCheckpoint(d.opts.FS, d.opts.Dir, s.ck); err != nil {
 		return err
 	}
-	if err := d.log.Truncate(); err != nil {
+	// Covered segments are redundant now; removal failures only cost
+	// replay skips on the next recovery.
+	d.log.RemoveSegmentsBelow(s.gcFrom)
+	return nil
+}
+
+// checkpointLocked cuts and persists a checkpoint synchronously, under
+// the write lock. DDL, explicit Checkpoint, EnableDurability and Recover
+// come through here; the automatic trigger uses the background path.
+func (db *DB) checkpointLocked() error {
+	snap, err := db.snapshotLocked()
+	if err != nil {
 		return err
 	}
-	d.sinceCkpt = 0
+	if err := db.dur.persist(snap); err != nil {
+		return err
+	}
+	db.dur.sinceCkpt = 0
 	return nil
 }
 
 // logWrite appends one WAL record for a write that is about to be (or has
 // just been) applied to the store, fsyncing per the configured mode. It
-// must run under the engine write lock. On error nothing was appended; the
-// caller must roll its store changes back and fail the write.
+// must run under the engine write lock. On error nothing was acknowledged;
+// the caller must roll its store changes back and fail the write — and the
+// engine has transitioned to read-only degraded mode, because the log is
+// poisoned (see degrade.go).
 func (db *DB) logWrite(kind wal.Kind, tables []wal.TableDelta) error {
+	if db.ro != nil {
+		return db.readOnlyErrLocked()
+	}
 	d := db.dur
 	if d == nil || len(tables) == 0 {
 		return nil
@@ -256,36 +329,65 @@ func (db *DB) logWrite(kind wal.Kind, tables []wal.TableDelta) error {
 		sync = kind == wal.KindBatch
 	}
 	if _, err := d.log.Append(kind, tables, sync); err != nil {
+		// The log poisoned itself; fail all further writes until Reopen.
+		db.ro = err
 		return fmt.Errorf("engine: wal append: %w", err)
 	}
 	d.sinceCkpt++
 	return nil
 }
 
-// autoCheckpointLocked takes a checkpoint when the record-count trigger is
-// due. It must run under the write lock, only after the store reflects
-// every appended record. A failure is retried on the next trigger and
-// surfaced by the next explicit Checkpoint — the writes themselves are
-// durable either way (the log still holds them).
+// autoCheckpointLocked starts a background checkpoint when the
+// record-count trigger is due: the cut (COW table snapshots + log
+// rotation, O(tables)) happens here under the write lock, then a goroutine
+// encodes and persists it while subsequent writes append to the fresh
+// segment. Must run under the write lock, only after the store reflects
+// every appended record. At most one background checkpoint runs at a time;
+// a failure is retried on the next trigger and surfaced by the next
+// explicit Checkpoint — the writes themselves are durable either way (the
+// log still holds them).
 func (db *DB) autoCheckpointLocked() {
 	d := db.dur
 	if d == nil || d.opts.CheckpointEvery <= 0 || d.sinceCkpt < d.opts.CheckpointEvery {
 		return
 	}
-	if err := db.checkpointLocked(); err != nil {
-		d.ckptErr = err
+	if d.ckptBusy || db.ro != nil {
+		return
 	}
+	snap, err := db.snapshotLocked()
+	if err != nil {
+		d.ckptErr = err
+		return
+	}
+	prior := d.sinceCkpt
+	d.sinceCkpt = 0
+	d.ckptBusy = true
+	d.ckptWG.Add(1)
+	go func() {
+		defer d.ckptWG.Done()
+		err := d.persist(snap)
+		db.mu.Lock()
+		d.ckptBusy = false
+		if err != nil {
+			d.ckptErr = err
+			d.sinceCkpt += prior // re-arm the trigger: the records are still uncovered
+		}
+		db.mu.Unlock()
+	}()
 }
 
 // ddlCheckpointLocked persists a DDL change (CreateTable, CreateView) by
-// taking a checkpoint — the catalog lives in checkpoints, not in WAL
-// records. Must run under the write lock. Unlike automatic checkpoints the
-// error is returned: a DDL statement whose catalog entry is not durable
-// must fail (and be rolled back by the caller), or recovery would replay
-// row records against a relation it does not know.
+// taking a synchronous checkpoint — the catalog lives in checkpoints, not
+// in WAL records. Must run under the write lock. Unlike automatic
+// checkpoints the error is returned: a DDL statement whose catalog entry
+// is not durable must fail (and be rolled back by the caller), or recovery
+// would replay row records against a relation it does not know.
 func (db *DB) ddlCheckpointLocked() error {
 	if db.dur == nil {
 		return nil
+	}
+	if db.ro != nil {
+		return db.readOnlyErrLocked()
 	}
 	return db.checkpointLocked()
 }
@@ -338,23 +440,27 @@ type RecoverStats struct {
 }
 
 // Recover rebuilds a database from the durable state in dir: it loads the
-// latest valid checkpoint, replays the WAL tail (skipping a torn trailing
-// record — an append the crashed process never acknowledged — and
-// erroring on mid-log corruption), re-creates the views from the
+// latest valid checkpoint, replays the WAL segments after it (skipping a
+// torn trailing record — an append the crashed process never acknowledged
+// — and erroring on mid-log corruption), re-creates the views from the
 // checkpointed catalog and re-derives their materializations AND support
 // counts from base state through the counted IVM initialization. The
 // returned engine has durability re-enabled on dir (with the checkpointed
 // sync mode and batching options restored) and is identical, relation for
 // relation and count for count, to an uninterrupted run over the same
 // acknowledged writes.
-func Recover(dir string) (*DB, RecoverStats, error) {
+func Recover(dir string) (*DB, RecoverStats, error) { return RecoverFS(nil, dir) }
+
+// RecoverFS is Recover through an injected filesystem (nil = the process
+// filesystem); the recovered engine keeps using it for all durable I/O.
+func RecoverFS(fsys wal.FS, dir string) (*DB, RecoverStats, error) {
 	var stats RecoverStats
-	ck, err := wal.LatestCheckpoint(dir)
+	ck, err := wal.LatestCheckpoint(fsys, dir)
 	if err != nil {
 		return nil, stats, err
 	}
 	if ck == nil {
-		if st, serr := os.Stat(filepath.Join(dir, wal.LogName)); serr != nil || st.Size() == 0 {
+		if !wal.HasLogData(fsys, dir) {
 			return nil, stats, fmt.Errorf("engine: no durable state in %s", dir)
 		}
 		// A log without any checkpoint can only be the leftover of a crash
@@ -385,7 +491,7 @@ func Recover(dir string) (*DB, RecoverStats, error) {
 	}
 
 	// WAL tail: net row deltas on top of the checkpointed base state.
-	res, err := wal.Replay(dir, ck.LSN, func(rec *wal.Record) error {
+	res, err := wal.Replay(fsys, dir, ck.LSN, func(rec *wal.Record) error {
 		for _, td := range rec.Tables {
 			decl, ok := db.tables[td.Name]
 			if !ok {
@@ -461,11 +567,17 @@ func Recover(dir string) (*DB, RecoverStats, error) {
 	// Re-attach the log where the replay ended and take a fresh
 	// checkpoint: the torn tail (if any) is discarded for good, and the
 	// next crash recovers from here.
-	opts := DurabilityOptions{Dir: dir, Sync: ck.Sync, CheckpointEvery: ck.CheckpointEvery}
+	opts := DurabilityOptions{
+		Dir:             dir,
+		Sync:            ck.Sync,
+		CheckpointEvery: ck.CheckpointEvery,
+		SegmentBytes:    ck.SegmentBytes,
+		FS:              fsys,
+	}
 	if opts.CheckpointEvery == 0 {
 		opts.CheckpointEvery = DefaultCheckpointEvery
 	}
-	log, err := wal.Open(dir, res.Last+1)
+	log, err := wal.Open(fsys, dir, res.Last+1, ck.SegmentBytes)
 	if err != nil {
 		return nil, stats, err
 	}

@@ -50,6 +50,13 @@ type DB struct {
 	// write path holds the write lock at its WAL hook, which is what makes
 	// log order identical to commit order.
 	dur *durability
+
+	// ro, when non-nil, is the storage failure that forced read-only
+	// degraded mode (degrade.go): every write path fails fast with
+	// ErrReadOnly until Reopen recovers from disk. Guarded by mu.
+	ro error
+	// reopening guards against concurrent Reopen calls. Guarded by mu.
+	reopening bool
 }
 
 // View is a registered updatable view: its schema, validated strategy
@@ -588,6 +595,9 @@ func (db *DB) markDependentsDirty(changed map[string]bool, keep map[string]bool)
 func (db *DB) LoadTable(name string, rows []value.Tuple) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.ro != nil {
+		return db.readOnlyErrLocked()
+	}
 	decl, ok := db.tables[name]
 	if !ok {
 		return fmt.Errorf("engine: unknown table %q", name)

@@ -65,6 +65,14 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps request bodies. 0 selects DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// MaxInflight bounds concurrently admitted data-plane requests (exec,
+	// query, views, ddl, checkpoint): when the bound is reached further
+	// requests are shed immediately with 503 + Retry-After instead of
+	// piling onto the engine locks. Admin and liveness endpoints (/stats,
+	// /healthz, /flush, /reopen) are never shed — they are how operators
+	// observe and clear an overload. 0 selects DefaultMaxInflight;
+	// negative disables shedding.
+	MaxInflight int
 }
 
 // Defaults for the zero Config.
@@ -72,15 +80,27 @@ const (
 	DefaultFlushInterval  = 2 * time.Millisecond
 	DefaultRequestTimeout = 30 * time.Second
 	DefaultMaxBodyBytes   = 1 << 20
+	DefaultMaxInflight    = 256
 )
 
 // Server serves one database over HTTP. Create it with New, mount
 // Handler(), and Drain() it on shutdown.
 type Server struct {
 	db  *engine.DB
-	bt  *engine.Batcher
 	cfg Config
 	mux *http.ServeMux
+
+	// bt is the group-commit handle. Atomic because POST /reopen retires
+	// the degraded handle and installs a fresh one while requests are in
+	// flight; every request loads it once and uses that snapshot.
+	bt atomic.Pointer[engine.Batcher]
+	// reopenMu serializes POST /reopen (discard batcher, recover, swap).
+	reopenMu sync.Mutex
+
+	// inflight is the admission semaphore (nil = unlimited): a slot is
+	// held for the duration of each data-plane request; when none is free
+	// the request is shed with 503 + Retry-After.
+	inflight chan struct{}
 
 	sessions *sessionRegistry
 	start    time.Time
@@ -89,6 +109,7 @@ type Server struct {
 	execs    atomic.Uint64
 	queries  atomic.Uint64
 	errs     atomic.Uint64
+	shed     atomic.Uint64
 
 	drainOnce sync.Once
 	drainErr  error
@@ -106,24 +127,55 @@ func New(db *engine.DB, cfg Config) *Server {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
 	s := &Server{
 		db:       db,
-		bt:       db.Batch(engine.BatchOptions{MaxTxns: cfg.BatchSize, FlushInterval: cfg.FlushInterval}),
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		sessions: newSessionRegistry(),
 		start:    time.Now(),
 	}
-	s.mux.HandleFunc("POST /exec", s.handleExec)
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("GET /views/{name}", s.handleView)
-	s.mux.HandleFunc("POST /ddl", s.handleDDL)
-	s.mux.HandleFunc("POST /session", s.handleSession)
+	s.bt.Store(db.Batch(engine.BatchOptions{MaxTxns: cfg.BatchSize, FlushInterval: cfg.FlushInterval}))
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	gated := func(h http.HandlerFunc) http.HandlerFunc { return s.admit(h) }
+	s.mux.HandleFunc("POST /exec", gated(s.handleExec))
+	s.mux.HandleFunc("POST /query", gated(s.handleQuery))
+	s.mux.HandleFunc("GET /views/{name}", gated(s.handleView))
+	s.mux.HandleFunc("POST /ddl", gated(s.handleDDL))
+	s.mux.HandleFunc("POST /session", gated(s.handleSession))
+	s.mux.HandleFunc("POST /checkpoint", gated(s.handleCheckpoint))
 	s.mux.HandleFunc("POST /flush", s.handleFlush)
-	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /reopen", s.handleReopen)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// admit wraps a data-plane handler with the admission semaphore: the
+// request holds one slot end to end (including its wait for the batch
+// flush), and when every slot is taken the request is shed immediately —
+// a fast 503 with Retry-After beats a slow timeout, and keeps a queue
+// from building in front of the engine locks.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				s.writeErrorCode(w, http.StatusServiceUnavailable, codeOverloaded,
+					fmt.Errorf("server: overloaded (%d requests in flight); retry later", cap(s.inflight)))
+				return
+			}
+		}
+		h(w, r)
+	}
 }
 
 // Handler returns the server's HTTP handler: the route mux wrapped with
@@ -144,15 +196,24 @@ func (s *Server) Handler() http.Handler {
 }
 
 // Batcher exposes the server's group-commit handle (tests, stats).
-func (s *Server) Batcher() *engine.Batcher { return s.bt }
+func (s *Server) Batcher() *engine.Batcher { return s.bt.Load() }
 
 // Drain is the graceful-shutdown tail, run after the HTTP listener has
 // stopped accepting and in-flight requests have finished: it flushes and
 // closes the batcher (every staged transaction commits), then writes a
-// final checkpoint when durability is enabled. Idempotent.
+// final checkpoint when durability is enabled. When the engine is in
+// read-only degraded mode the staged batch cannot flush — it is discarded
+// (it was never acknowledged) and the degradation error is reported.
+// Idempotent.
 func (s *Server) Drain() error {
 	s.drainOnce.Do(func() {
-		s.drainErr = s.bt.Close()
+		bt := s.bt.Load()
+		if roErr := s.db.ReadOnly(); roErr != nil {
+			bt.Discard(roErr)
+			s.drainErr = roErr
+			return
+		}
+		s.drainErr = bt.Close()
 		if s.db.Durable() {
 			if err := s.db.Checkpoint(); err != nil && s.drainErr == nil {
 				s.drainErr = err
@@ -175,11 +236,35 @@ type errorResponse struct {
 	OK            bool   `json:"ok"`
 	Error         string `json:"error"`
 	Indeterminate bool   `json:"indeterminate,omitempty"`
+	// Code classifies machine-actionable failures: "read_only" (the
+	// engine degraded after a storage failure; writes fail until
+	// POST /reopen succeeds) and "overloaded" (shed by the admission
+	// limiter; honor Retry-After).
+	Code string `json:"code,omitempty"`
 }
+
+// Machine-actionable error codes carried in errorResponse.Code.
+const (
+	codeReadOnly   = "read_only"
+	codeOverloaded = "overloaded"
+)
 
 func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
 	s.errs.Add(1)
+	if errors.Is(err, engine.ErrReadOnly) {
+		// A degraded engine rejects every write deterministically: not a
+		// client error and not indeterminate — surface it as typed 503 no
+		// matter which handler hit it.
+		s.writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: err.Error(), Code: codeReadOnly})
+		return
+	}
 	s.writeJSON(w, code, errorResponse{Error: err.Error(), Indeterminate: code >= 500})
+}
+
+func (s *Server) writeErrorCode(w http.ResponseWriter, code int, errCode string, err error) {
+	s.errs.Add(1)
+	s.writeJSON(w, code, errorResponse{Error: err.Error(), Code: errCode})
 }
 
 // decodeBody decodes a JSON request body into v, rejecting trailing
@@ -275,18 +360,21 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	seq, commit, err := s.bt.ExecAsync(stmts...)
+	bt := s.bt.Load()
+	seq, commit, err := bt.ExecAsync(stmts...)
 	if err != nil {
 		// Rejected at admission: nothing was staged, the transaction
-		// definitively did not happen — a client error.
+		// definitively did not happen. A degraded engine makes that a
+		// typed 503 (writeError detects ErrReadOnly); anything else is a
+		// client error.
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	select {
 	case <-commit.Done():
 		if cerr := commit.Err(); cerr != nil {
-			// The flush failed (WAL append error). The batch stays staged
-			// and may commit with a later retry: indeterminate.
+			// The flush failed (WAL append error); the engine is now in
+			// read-only degraded mode and the transaction did not commit.
 			s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server: commit failed: %w", cerr))
 			return
 		}
@@ -294,7 +382,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusGatewayTimeout, fmt.Errorf("server: timed out waiting for the batch flush (transaction admitted; it may still commit)"))
 		return
 	}
-	s.writeJSON(w, http.StatusOK, execResponse{OK: true, Seq: seq, Pending: s.bt.Pending()})
+	s.writeJSON(w, http.StatusOK, execResponse{OK: true, Seq: seq, Pending: bt.Pending()})
 }
 
 // --- /query and /views/{name} ----------------------------------------------
@@ -395,7 +483,7 @@ func (s *Server) handleDDL(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf(`server: give exactly one of "source" or "view"`))
 		return
 	}
-	if err := s.bt.Flush(); err != nil {
+	if err := s.bt.Load().Flush(); err != nil {
 		s.writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
@@ -456,12 +544,13 @@ type flushResponse struct {
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	pending := s.bt.Pending()
-	if err := s.bt.Flush(); err != nil {
+	bt := s.bt.Load()
+	pending := bt.Pending()
+	if err := bt.Flush(); err != nil {
 		s.writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, flushResponse{OK: true, Flushed: pending, Seq: s.bt.Stats().Seq})
+	s.writeJSON(w, http.StatusOK, flushResponse{OK: true, Flushed: pending, Seq: bt.Stats().Seq})
 }
 
 type checkpointResponse struct {
@@ -475,7 +564,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Flush first so the checkpoint covers every acknowledged transaction.
-	if err := s.bt.Flush(); err != nil {
+	if err := s.bt.Load().Flush(); err != nil {
 		s.writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
@@ -484,6 +573,40 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, checkpointResponse{OK: true, LSN: s.db.LastLSN()})
+}
+
+type reopenResponse struct {
+	OK  bool   `json:"ok"`
+	LSN uint64 `json:"lsn"`
+}
+
+// handleReopen clears read-only degraded mode: it retires the degraded
+// group-commit handle (its staged transactions were never acknowledged),
+// re-runs recovery from the durability directory via DB.Reopen, and
+// installs a fresh handle. 409 when the engine is not degraded; on a
+// failed recovery (the disk is still hostile) the server stays degraded
+// and the call can be retried. Never shed by the admission limiter — this
+// is how an operator gets the server back.
+func (s *Server) handleReopen(w http.ResponseWriter, r *http.Request) {
+	s.reopenMu.Lock()
+	defer s.reopenMu.Unlock()
+	roErr := s.db.ReadOnly()
+	if roErr == nil {
+		s.writeError(w, http.StatusConflict, fmt.Errorf("server: engine is not in read-only mode"))
+		return
+	}
+	old := s.bt.Load()
+	old.Discard(roErr)
+	err := s.db.Reopen()
+	// Degraded or not, requests need a live (non-discarded) handle; on a
+	// failed reopen its admissions fail fast with the typed read-only
+	// error.
+	s.bt.Store(s.db.Batch(engine.BatchOptions{MaxTxns: s.cfg.BatchSize, FlushInterval: s.cfg.FlushInterval}))
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("server: reopen: %w", err))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, reopenResponse{OK: true, LSN: s.db.LastLSN()})
 }
 
 // --- /stats and /healthz ----------------------------------------------------
@@ -502,6 +625,10 @@ type serverStats struct {
 	Execs          uint64         `json:"execs"`
 	Queries        uint64         `json:"queries"`
 	Errors         uint64         `json:"errors"`
+	Shed           uint64         `json:"shed"`
+	QueueDepth     int            `json:"queue_depth"`
+	MaxInflight    int            `json:"max_inflight"`
+	ReadOnly       bool           `json:"readonly"`
 	Sessions       int            `json:"sessions"`
 	ActiveSessions int            `json:"active_sessions"`
 	SessionDetail  []sessionStats `json:"session_detail,omitempty"`
@@ -535,15 +662,19 @@ type walStats struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	bs := s.bt.Stats()
+	bs := s.bt.Load().Stats()
 	resp := statsResponse{
 		OK: true,
 		Server: serverStats{
-			UptimeMS: time.Since(s.start).Milliseconds(),
-			Requests: s.requests.Load(),
-			Execs:    s.execs.Load(),
-			Queries:  s.queries.Load(),
-			Errors:   s.errs.Load(),
+			UptimeMS:    time.Since(s.start).Milliseconds(),
+			Requests:    s.requests.Load(),
+			Execs:       s.execs.Load(),
+			Queries:     s.queries.Load(),
+			Errors:      s.errs.Load(),
+			Shed:        s.shed.Load(),
+			QueueDepth:  len(s.inflight),
+			MaxInflight: cap(s.inflight),
+			ReadOnly:    s.db.ReadOnly() != nil,
 		},
 		Batch: batcherStats{
 			Admitted:      bs.Admitted,
@@ -576,7 +707,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+type healthzResponse struct {
+	OK       bool `json:"ok"`
+	ReadOnly bool `json:"readonly"`
+}
+
+// handleHealthz is the liveness probe: 200 as long as the server answers,
+// INCLUDING in read-only degraded mode (the process is alive and serving
+// reads — restarting it would not help a broken disk). The body carries
+// the degraded flag for probes that want to alert on it. Never shed by
+// the admission limiter.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain")
-	fmt.Fprintln(w, "ok")
+	s.writeJSON(w, http.StatusOK, healthzResponse{OK: true, ReadOnly: s.db.ReadOnly() != nil})
 }

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -44,9 +43,11 @@ type Checkpoint struct {
 	// Batching, when non-nil, restores group-commit routing (DB.SetBatching)
 	// on recovery.
 	Batching *BatchConfig
-	// Sync and CheckpointEvery restore the durability options on recovery.
+	// Sync, CheckpointEvery and SegmentBytes restore the durability
+	// options on recovery.
 	Sync            SyncMode
 	CheckpointEvery int
+	SegmentBytes    int64
 	// Parallelism restores the engine's evaluator worker budget (0 = the
 	// engine default, i.e. sequential until SetParallelism is called).
 	Parallelism int
@@ -82,7 +83,7 @@ type BatchConfig struct {
 }
 
 const (
-	ckptMagic  = "BIRDSCKPT\x01"
+	ckptMagic  = "BIRDSCKPT\x02"
 	ckptSuffix = ".ckpt"
 	ckptPrefix = "checkpoint-"
 	tmpSuffix  = ".tmp"
@@ -94,20 +95,27 @@ func ckptName(lsn uint64) string {
 	return fmt.Sprintf("%s%016x%s", ckptPrefix, lsn, ckptSuffix)
 }
 
-// WriteCheckpoint atomically persists ck into dir and removes older
-// checkpoint generations on success.
-func WriteCheckpoint(dir string, ck *Checkpoint) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// WriteCheckpoint atomically persists ck into dir and removes strictly
+// older checkpoint generations on success. Newer generations are left
+// alone: a synchronous checkpoint (DDL, explicit request) may land while a
+// background one at an earlier LSN is still being written, and whichever
+// finishes last must not delete the other's newer state. A failed write
+// leaves no temp file behind; if even the cleanup fails (the disk is truly
+// hostile), the next Open sweeps strays. fsys nil means the process
+// filesystem.
+func WriteCheckpoint(fsys FS, dir string, ck *Checkpoint) error {
+	fsys = realFS(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	payload := encodeCheckpoint(ck)
 
-	tmp, err := os.CreateTemp(dir, ckptPrefix+"*"+tmpSuffix)
+	tmp, err := fsys.CreateTemp(dir, ckptPrefix+"*"+tmpSuffix)
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
-	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	cleanup := func() { tmp.Close(); fsys.Remove(tmpName) }
 	if _, err := tmp.Write(payload); err != nil {
 		cleanup()
 		return err
@@ -117,34 +125,55 @@ func WriteCheckpoint(dir string, ck *Checkpoint) error {
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
 	live := filepath.Join(dir, ckptName(ck.LSN))
-	if err := os.Rename(tmpName, live); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, live); err != nil {
+		// A torn rename may leave a partial copy under the live name; its
+		// checksum makes recovery fall back to the previous generation, and
+		// the next successful checkpoint removes it as an older generation.
+		fsys.Remove(tmpName)
 		return err
 	}
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(fsys, dir); err != nil {
 		return err
 	}
 	// The new generation is durable; older generations (and stray temp
 	// files) are redundant. Removal failures are ignored — stale files are
 	// skipped by LSN order on recovery.
-	for _, name := range checkpointFiles(dir) {
-		if name != ckptName(ck.LSN) {
-			os.Remove(filepath.Join(dir, name))
+	for _, name := range checkpointFiles(fsys, dir) {
+		if name < ckptName(ck.LSN) {
+			fsys.Remove(filepath.Join(dir, name))
 		}
 	}
 	return nil
 }
 
+// sweepTemp removes stray checkpoint temp files left by an interrupted or
+// failed checkpoint whose own cleanup also failed. Called on Open, before
+// any new checkpoint activity.
+func sweepTemp(fsys FS, dir string) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, ckptPrefix) && strings.HasSuffix(name, tmpSuffix) {
+			fsys.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
 // LatestCheckpoint loads the newest checkpoint in dir that decodes and
 // passes its checksum, falling back to older generations. It returns
 // (nil, nil) when dir holds no checkpoint at all — the empty-state
-// baseline; a dir whose every checkpoint is corrupt is an error.
-func LatestCheckpoint(dir string) (*Checkpoint, error) {
-	names := checkpointFiles(dir)
+// baseline; a dir whose every checkpoint is corrupt is an error. fsys nil
+// means the process filesystem.
+func LatestCheckpoint(fsys FS, dir string) (*Checkpoint, error) {
+	fsys = realFS(fsys)
+	names := checkpointFiles(fsys, dir)
 	if len(names) == 0 {
 		return nil, nil
 	}
@@ -153,7 +182,7 @@ func LatestCheckpoint(dir string) (*Checkpoint, error) {
 	sort.Sort(sort.Reverse(sort.StringSlice(names)))
 	var firstErr error
 	for _, name := range names {
-		data, err := os.ReadFile(filepath.Join(dir, name))
+		data, err := fsys.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -174,8 +203,8 @@ func LatestCheckpoint(dir string) (*Checkpoint, error) {
 
 // checkpointFiles lists the live checkpoint file names in dir (temp files
 // excluded), unsorted.
-func checkpointFiles(dir string) []string {
-	entries, err := os.ReadDir(dir)
+func checkpointFiles(fsys FS, dir string) []string {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil
 	}
@@ -191,16 +220,6 @@ func checkpointFiles(dir string) []string {
 	return out
 }
 
-// syncDir fsyncs a directory so a just-renamed file survives a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
-}
-
 // --- checkpoint encoding --------------------------------------------------
 
 func encodeCheckpoint(ck *Checkpoint) []byte {
@@ -208,6 +227,7 @@ func encodeCheckpoint(ck *Checkpoint) []byte {
 	buf = binary.AppendUvarint(buf, ck.LSN)
 	buf = append(buf, byte(ck.Sync))
 	buf = binary.AppendUvarint(buf, uint64(ck.CheckpointEvery))
+	buf = binary.AppendVarint(buf, ck.SegmentBytes)
 	buf = binary.AppendVarint(buf, int64(ck.Parallelism))
 	if ck.Batching != nil {
 		buf = append(buf, 1)
@@ -258,6 +278,7 @@ func decodeCheckpoint(data []byte) (*Checkpoint, error) {
 	ck.LSN = d.uvarint()
 	ck.Sync = SyncMode(d.byte())
 	ck.CheckpointEvery = int(d.uvarint())
+	ck.SegmentBytes = d.varint()
 	ck.Parallelism = int(d.varint())
 	if d.byte() == 1 {
 		ck.Batching = &BatchConfig{

@@ -1,0 +1,291 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// FaultFS wraps an FS and injects storage faults at chosen points: the
+// test half of the FS seam. A fault is armed as a Rule matched against
+// every operation of its class (optionally filtered by a path substring,
+// so a rule can hit WAL segments but not checkpoint temp files) and fires
+// either on the Nth matching call or with a probability. The fault
+// classes cover the ways real storage fails:
+//
+//   - Err on write/sync/open/rename/remove/truncate: EIO, ENOSPC, …
+//   - ShortWrite: write() persists a prefix of the buffer, then errors —
+//     the torn-append case recovery's torn-tail rule exists for;
+//   - TornRename: rename() leaves a partial copy of the source at the
+//     destination and errors — the non-atomic-rename case the checkpoint
+//     checksum + generation fallback exist for.
+//
+// FaultFS is exported (rather than living in a _test.go) so the engine
+// and server fault harnesses can drive it through DurabilityOptions.FS.
+type FaultFS struct {
+	mu    sync.Mutex
+	inner FS
+	rng   *rand.Rand
+	rules []*Rule
+	ops   map[Op]int // operations seen, per class
+	fired int        // rules fired so far
+}
+
+// Op classifies a filesystem operation for rule matching.
+type Op uint8
+
+const (
+	OpOpen Op = iota + 1
+	OpCreateTemp
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpTruncate
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpCreateTemp:
+		return "create-temp"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// ErrInjected is the default error a firing rule returns (wrapped in an
+// *os.PathError carrying the operation and path).
+var ErrInjected = errors.New("injected fault")
+
+// ErrNoSpace is a ready-made ENOSPC for Rule.Err.
+var ErrNoSpace = syscall.ENOSPC
+
+// Rule arms one fault.
+type Rule struct {
+	// Op is the operation class the rule matches (required).
+	Op Op
+	// Path, when non-empty, restricts the rule to operations whose path
+	// contains it as a substring.
+	Path string
+	// AfterN fires the rule on the Nth matching operation from arming
+	// (1 = the very next one). Zero with P == 0 also means "the next one".
+	AfterN int
+	// P, when non-zero, fires the rule on each matching operation with
+	// this probability instead of deterministically at AfterN.
+	P float64
+	// Err is the error to return; nil means ErrInjected.
+	Err error
+	// ShortWrite, for OpWrite, persists roughly half the buffer before
+	// failing (a torn append) instead of failing cleanly.
+	ShortWrite bool
+	// TornRename, for OpRename, copies a prefix of the source to the
+	// destination before failing (a non-atomic rename).
+	TornRename bool
+	// Once disarms the rule after its first firing; otherwise it keeps
+	// firing on every subsequent match.
+	Once bool
+
+	seen  int
+	fires int
+}
+
+// NewFaultFS wraps inner (nil = the process filesystem) with no rules
+// armed; seed drives probabilistic rules.
+func NewFaultFS(inner FS, seed int64) *FaultFS {
+	return &FaultFS{
+		inner: realFS(inner),
+		rng:   rand.New(rand.NewSource(seed)),
+		ops:   make(map[Op]int),
+	}
+}
+
+// Inject arms a rule. The *Rule is retained; Fires reports its count.
+func (f *FaultFS) Inject(r *Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, r)
+}
+
+// Clear disarms every rule.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// OpCount returns how many operations of class op have been observed.
+func (f *FaultFS) OpCount(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops[op]
+}
+
+// Fired returns how many rule firings have occurred in total.
+func (f *FaultFS) Fired() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// Fires reports how many times r has fired.
+func (r *Rule) Fires() int { return r.fires }
+
+// check records one operation and returns the rule that fires on it, if
+// any.
+func (f *FaultFS) check(op Op, path string) *Rule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops[op]++
+	for i, r := range f.rules {
+		if r == nil || r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.seen++
+		fire := false
+		if r.P > 0 {
+			fire = f.rng.Float64() < r.P
+		} else {
+			n := r.AfterN
+			if n <= 0 {
+				n = 1
+			}
+			// From the Nth match on; Once limits the rule to that one firing.
+			fire = r.seen >= n
+		}
+		if !fire {
+			continue
+		}
+		r.fires++
+		f.fired++
+		if r.Once {
+			f.rules[i] = nil
+		}
+		return r
+	}
+	return nil
+}
+
+func (r *Rule) err(op, path string) error {
+	e := r.Err
+	if e == nil {
+		e = ErrInjected
+	}
+	return &os.PathError{Op: op, Path: path, Err: e}
+}
+
+func (f *FaultFS) OpenFile(path string, flag int, perm fs.FileMode) (File, error) {
+	// Read-only opens (recovery reads, dir fsync handles) pass through:
+	// OpOpen targets the write path, where an open failure must degrade
+	// gracefully. Injecting into reads is not part of the fault matrix.
+	if flag&(os.O_WRONLY|os.O_RDWR|os.O_CREATE) != 0 {
+		if r := f.check(OpOpen, path); r != nil {
+			return nil, r.err("open", path)
+		}
+	}
+	inner, err := f.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if r := f.check(OpCreateTemp, dir+"/"+pattern); r != nil {
+		return nil, r.err("createtemp", dir)
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if r := f.check(OpRename, newpath); r != nil {
+		if r.TornRename {
+			// Non-atomic rename: a prefix of the source lands under the
+			// destination name, the source survives, and the call errors.
+			if data, rerr := f.inner.ReadFile(oldpath); rerr == nil {
+				if dst, werr := f.inner.OpenFile(newpath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644); werr == nil {
+					dst.Write(data[:len(data)/2])
+					dst.Close()
+				}
+			}
+		}
+		return r.err("rename", newpath)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if r := f.check(OpRemove, path); r != nil {
+		return r.err("remove", path)
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) { return f.inner.ReadFile(path) }
+
+func (f *FaultFS) ReadDir(path string) ([]fs.DirEntry, error) { return f.inner.ReadDir(path) }
+
+func (f *FaultFS) Stat(path string) (fs.FileInfo, error) { return f.inner.Stat(path) }
+
+// faultFile routes per-handle operations back through the FaultFS rules.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if r := ff.fs.check(OpWrite, ff.inner.Name()); r != nil {
+		if r.ShortWrite && len(p) > 0 {
+			n, _ := ff.inner.Write(p[:(len(p)+1)/2])
+			return n, r.err("write", ff.inner.Name())
+		}
+		return 0, r.err("write", ff.inner.Name())
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if r := ff.fs.check(OpSync, ff.inner.Name()); r != nil {
+		return r.err("sync", ff.inner.Name())
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if r := ff.fs.check(OpTruncate, ff.inner.Name()); r != nil {
+		return r.err("truncate", ff.inner.Name())
+	}
+	return ff.inner.Truncate(size)
+}
+
+func (ff *faultFile) Close() error                              { return ff.inner.Close() }
+func (ff *faultFile) Seek(off int64, whence int) (int64, error) { return ff.inner.Seek(off, whence) }
+func (ff *faultFile) Stat() (fs.FileInfo, error)                { return ff.inner.Stat() }
+func (ff *faultFile) Name() string                              { return ff.inner.Name() }

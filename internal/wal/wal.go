@@ -8,21 +8,39 @@
 //     commit, a group-commit batch flush, a bulk load — appends exactly one
 //     record *before* the write is acknowledged;
 //   - a checkpoint captures base tables and catalog at a log sequence
-//     number (LSN), after which the log can be truncated; materialized
-//     views are deliberately NOT checkpointed — recovery re-derives them
-//     from base state through the evaluator's counted initialization,
-//     which is what makes the IVM layer provably a pure function of the
-//     base tables;
+//     number (LSN), after which fully-covered segments can be removed;
+//     materialized views are deliberately NOT checkpointed — recovery
+//     re-derives them from base state through the evaluator's counted
+//     initialization, which is what makes the IVM layer provably a pure
+//     function of the base tables;
 //   - recovery loads the latest valid checkpoint and replays the log tail.
 //
+// The log is split into size-bounded segments named wal-<first LSN>.log
+// (16-hex zero-padded, so lexicographic order is LSN order); a legacy
+// single-file wal.log replays as the oldest segment. Appends rotate to a
+// fresh segment once the active one crosses the threshold, and a
+// checkpoint rotates unconditionally so that every record it covers lives
+// in a sealed segment that can be garbage-collected the moment the
+// checkpoint is durable — which is what lets checkpoint writing proceed in
+// the background while new appends land in the next segment.
+//
 // Torn-tail contract: a crash can truncate the log at any byte offset. A
-// trailing record that is incomplete (the file ends inside its frame) or
+// trailing record that is incomplete (the log ends inside its frame) or
 // fails its checksum is a torn write of the crashed process and is skipped
 // silently — the transaction it described was never acknowledged at that
-// sync level. A checksum failure followed by further well-formed records is
-// NOT a torn write: it means the middle of the log rotted, replaying past
-// it would diverge from the acknowledged history, and recovery reports a
-// hard error instead of guessing.
+// sync level. The torn tail is only ever legal at the very end of the log:
+// a bad frame followed by further well-formed records (in the same segment
+// or any later one) is NOT a torn write but mid-log rot, and replaying
+// past it would diverge from the acknowledged history, so recovery reports
+// a hard error instead of guessing.
+//
+// Failure semantics (the fsyncgate rule): after ANY failed write, fsync or
+// truncate the kernel page cache is in an unknown state — a retry that
+// appears to succeed may still lose the original pages. The log therefore
+// poisons itself on the first such failure: the failing call returns the
+// real error (the caller rolls back its in-memory state exactly as for any
+// failed append) and every later Append/Sync fails fast with ErrPoisoned
+// until the log is discarded and the directory re-opened through recovery.
 //
 // Record frame layout (little-endian):
 //
@@ -41,6 +59,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"birds/internal/value"
@@ -136,8 +157,73 @@ type Record struct {
 	Tables []TableDelta
 }
 
-// LogName is the log's file name inside a durability directory.
+// LogName is the legacy single-file log name; directories written before
+// segmentation hold one and it replays as the oldest segment. New appends
+// always go to named segments.
 const LogName = "wal.log"
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".log"
+)
+
+// DefaultSegmentBytes is the rotation threshold when the caller passes 0.
+const DefaultSegmentBytes int64 = 4 << 20
+
+// segName renders the file name of the segment whose first record has the
+// given LSN; 16-hex zero-padding makes lexicographic order LSN order.
+func segName(lsn uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, lsn, segSuffix)
+}
+
+// segLSN parses a segment file name back to its first LSN.
+func segLSN(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	lsn, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// Segments lists the log files in dir in replay order: the legacy wal.log
+// first (if present), then named segments ascending by first LSN. fsys nil
+// means the process filesystem.
+func Segments(fsys FS, dir string) []string {
+	fsys = realFS(fsys)
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var legacy []string
+	var segs []string
+	for _, e := range entries {
+		name := e.Name()
+		if name == LogName {
+			legacy = append(legacy, name)
+			continue
+		}
+		if _, ok := segLSN(name); ok {
+			segs = append(segs, name)
+		}
+	}
+	sort.Strings(segs) // zero-padded hex: lexicographic == LSN order
+	return append(legacy, segs...)
+}
+
+// HasLogData reports whether dir holds any non-empty log segment. fsys nil
+// means the process filesystem.
+func HasLogData(fsys FS, dir string) bool {
+	fsys = realFS(fsys)
+	for _, name := range Segments(fsys, dir) {
+		if st, err := fsys.Stat(filepath.Join(dir, name)); err == nil && st.Size() > 0 {
+			return true
+		}
+	}
+	return false
+}
 
 const frameHeader = 8 // 4 bytes length + 4 bytes CRC
 
@@ -152,39 +238,175 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // it cannot be the torn tail of a crashed append.
 var ErrCorrupt = errors.New("wal: mid-log corruption")
 
-// Log is an open write-ahead log. Append/Sync/Truncate serialize on an
-// internal mutex; the engine additionally calls them under its own write
-// lock, which is what orders records identically to execution order.
-type Log struct {
-	mu      sync.Mutex
-	f       *os.File
-	dir     string
-	nextLSN uint64
-	buf     []byte
-	dirty   bool // bytes appended since the last fsync
+// ErrPoisoned reports that an earlier write/sync/truncate failure left the
+// log's on-disk state unknown, so further appends are refused until the
+// directory is re-opened through recovery (the fsyncgate rule: never
+// retry against a file whose page-cache state you cannot trust).
+var ErrPoisoned = errors.New("wal: log poisoned by earlier storage failure")
 
-	// failAppend, when non-nil, makes the next Append fail with this error
-	// before writing anything — fault injection for the crash harness
-	// (tests only).
-	failAppend error
+// Log is an open write-ahead log. Append/Sync serialize on an internal
+// mutex; the engine additionally calls them under its own write lock,
+// which is what orders records identically to execution order.
+type Log struct {
+	mu       sync.Mutex
+	fsys     FS
+	f        File
+	dir      string
+	nextLSN  uint64
+	segStart uint64 // first LSN the active segment holds (or will hold)
+	segBytes int64  // rotation threshold; < 0 disables rotation
+	size     int64  // bytes in the active segment
+	buf      []byte
+	dirty    bool  // bytes appended since the last fsync
+	poisoned error // first storage failure; non-nil refuses all appends
 }
 
-// Open opens (creating if absent) the log inside dir, positioned to append.
-// nextLSN is the LSN the next appended record receives; callers derive it
-// from the checkpoint/replay they performed before opening.
-func Open(dir string, nextLSN uint64) (*Log, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// Open opens the log inside dir, positioned to append. nextLSN is the LSN
+// the next appended record receives; callers derive it from the
+// checkpoint/replay they performed before opening. fsys nil means the
+// process filesystem; segBytes is the rotation threshold (0 = default,
+// negative = never rotate).
+//
+// Appends continue into the newest existing segment after trimming any
+// torn tail it carries (the trimmed bytes are by definition
+// unacknowledged); if the directory holds no segment — or only a legacy
+// wal.log, which is never appended to — a fresh segment is created. Stray
+// checkpoint temp files from an interrupted checkpoint are swept here.
+func Open(fsys FS, dir string, nextLSN uint64, segBytes int64) (*Log, error) {
+	fsys = realFS(fsys)
+	if segBytes == 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(filepath.Join(dir, LogName), os.O_CREATE|os.O_RDWR, 0o644)
+	sweepTemp(fsys, dir)
+
+	// The legacy wal.log is never appended to, but a torn tail it carries
+	// must still be trimmed here: new records go to named segments, which
+	// replay after it, and any data following torn bytes reads as mid-log
+	// corruption. The trimmed bytes are by definition unacknowledged.
+	if data, err := fsys.ReadFile(filepath.Join(dir, LogName)); err == nil {
+		valid, verr := validPrefixLen(data)
+		if verr != nil {
+			return nil, fmt.Errorf("%s: %w", LogName, verr)
+		}
+		if valid < len(data) {
+			f, err := fsys.OpenFile(filepath.Join(dir, LogName), os.O_RDWR, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			terr := f.Truncate(int64(valid))
+			if cerr := f.Close(); terr == nil {
+				terr = cerr
+			}
+			if terr != nil {
+				return nil, terr
+			}
+		}
+	}
+
+	l := &Log{fsys: fsys, dir: dir, nextLSN: nextLSN, segBytes: segBytes}
+	segs := Segments(fsys, dir)
+	// Drop empty trailing segments (leftovers of an interrupted rotation):
+	// they hold no records, and appending into one would strand a torn
+	// tail of the previous segment in the middle of the log.
+	for len(segs) > 0 {
+		name := segs[len(segs)-1]
+		if name == LogName {
+			break
+		}
+		st, err := fsys.Stat(filepath.Join(dir, name))
+		if err != nil || st.Size() > 0 {
+			break
+		}
+		if fsys.Remove(filepath.Join(dir, name)) != nil {
+			break // keep appending into it; a record makes it non-empty
+		}
+		segs = segs[:len(segs)-1]
+	}
+	newest := ""
+	if n := len(segs); n > 0 {
+		if name := segs[n-1]; name != LogName {
+			newest = name
+		}
+	}
+	if newest == "" {
+		if err := l.createSegmentLocked(nextLSN); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+
+	// Append into the newest named segment: find the end of its valid
+	// frame prefix and trim anything after it, so a new append can never
+	// resurrect torn bytes into a mid-log corruption.
+	path := filepath.Join(dir, newest)
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	valid, err := validPrefixLen(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", newest, err)
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if valid < len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &Log{f: f, dir: dir, nextLSN: nextLSN}, nil
+	start, _ := segLSN(newest)
+	l.f = f
+	l.segStart = start
+	l.size = int64(valid)
+	return l, nil
+}
+
+// validPrefixLen returns the byte length of the longest prefix of data
+// consisting of complete, checksum-valid frames. Trailing bytes beyond it
+// must be a torn tail: if any valid frame follows them, that is mid-log
+// corruption and an error.
+func validPrefixLen(data []byte) (int, error) {
+	off := 0
+	for off < len(data) {
+		_, frameLen, ok := decodeFrame(data[off:])
+		if !ok {
+			if frameLen > 0 && anyValidFrame(data[off+frameLen:]) {
+				return 0, fmt.Errorf("%w: bad record at byte offset %d", ErrCorrupt, off)
+			}
+			return off, nil
+		}
+		off += frameLen
+	}
+	return off, nil
+}
+
+// createSegmentLocked opens a fresh active segment whose first record
+// will carry lsn, and fsyncs the directory so the file itself survives a
+// machine crash.
+func (l *Log) createSegmentLocked(lsn uint64) error {
+	f, err := l.fsys.OpenFile(filepath.Join(l.dir, segName(lsn)), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(l.fsys, l.dir); err != nil {
+		f.Close()
+		l.fsys.Remove(filepath.Join(l.dir, segName(lsn)))
+		return err
+	}
+	l.f = f
+	l.segStart = lsn
+	l.size = 0
+	return nil
 }
 
 // Dir returns the durability directory the log lives in.
@@ -205,27 +427,45 @@ func (l *Log) LastLSN() uint64 {
 	return l.nextLSN - 1
 }
 
-// InjectAppendError arms (or with nil disarms) append fault injection: the
-// next Append fails with err before writing anything. Tests only — it is
-// how the crash harness pins down the store-untouched-on-log-failure
-// contract without an actual I/O error.
-func (l *Log) InjectAppendError(err error) {
+// Poisoned returns nil while the log is healthy, or an ErrPoisoned-wrapped
+// error naming the storage failure that killed it.
+func (l *Log) Poisoned() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.failAppend = err
+	if l.poisoned == nil {
+		return nil
+	}
+	return l.poisonedErrLocked()
+}
+
+func (l *Log) poisonLocked(err error) {
+	if l.poisoned == nil {
+		l.poisoned = err
+	}
+}
+
+func (l *Log) poisonedErrLocked() error {
+	return fmt.Errorf("%w: %w", ErrPoisoned, l.poisoned)
 }
 
 // Append encodes one record, assigns it the next LSN, writes its frame and
 // — when sync is true — fsyncs the log. The record is acknowledged (and the
-// LSN consumed) only on success: a failed append leaves the log exactly as
-// it was, so the caller can roll its in-memory state back and report the
-// write as failed.
+// LSN consumed) only on success: a failed append leaves no acknowledged
+// state behind, so the caller rolls its in-memory state back and reports
+// the write as failed. A write or sync failure additionally poisons the
+// log (see ErrPoisoned): any bytes a partial write left behind become a
+// permanent torn tail that recovery skips, because nothing is ever
+// appended after them.
 func (l *Log) Append(kind Kind, tables []TableDelta, sync bool) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.failAppend != nil {
-		err := l.failAppend
-		return 0, err
+	if l.poisoned != nil {
+		return 0, l.poisonedErrLocked()
+	}
+	if l.segBytes > 0 && l.size >= l.segBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
 	}
 	lsn := l.nextLSN
 	payload := encodeRecord(l.buf[:0], kind, lsn, tables)
@@ -238,11 +478,16 @@ func (l *Log) Append(kind Kind, tables []TableDelta, sync bool) (uint64, error) 
 	// so a crash tears at a byte offset inside one frame, never interleaves
 	// frames.
 	frame := append(hdr[:], payload...)
-	if _, err := l.f.Write(frame); err != nil {
-		// A partial write would leave a torn (unacknowledged) tail, which
-		// recovery skips — the contract holds even here.
+	if n, err := l.f.Write(frame); err != nil || n < len(frame) {
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		// The partial write left a torn (unacknowledged) tail; poisoning
+		// guarantees no later append lands after it, so recovery skips it.
+		l.poisonLocked(err)
 		return 0, err
 	}
+	l.size += int64(len(frame))
 	l.dirty = true
 	l.nextLSN++
 	if sync {
@@ -253,10 +498,79 @@ func (l *Log) Append(kind Kind, tables []TableDelta, sync bool) (uint64, error) 
 	return lsn, nil
 }
 
-// Sync fsyncs any appended-but-unsynced records.
+// rotateLocked seals the active segment (fsyncing its tail) and starts a
+// fresh one at the next LSN. A sync failure poisons the log and is
+// returned; a failure to create or persist the new segment is graceful —
+// the log keeps appending to the current segment and retries rotation on
+// the next threshold crossing.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	old := l.f
+	oldStart, oldSize := l.segStart, l.size
+	if err := l.createSegmentLocked(l.nextLSN); err != nil {
+		// Keep writing the oversized segment; availability beats rotation.
+		l.f, l.segStart, l.size = old, oldStart, oldSize
+		return nil
+	}
+	old.Close() // already synced; close errors carry no data risk
+	return nil
+}
+
+// RotateForCheckpoint seals the active segment so a checkpoint cut at the
+// current last LSN covers only sealed segments, and returns the first LSN
+// of the (possibly fresh) active segment: every segment below it is
+// garbage the moment that checkpoint is durable. An empty active segment
+// is returned as-is.
+func (l *Log) RotateForCheckpoint() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.poisoned != nil {
+		return 0, l.poisonedErrLocked()
+	}
+	if l.size > 0 {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return l.segStart, nil
+}
+
+// RemoveSegmentsBelow deletes every sealed log file whose records all
+// predate startLSN: named segments with first LSN < startLSN and the
+// legacy wal.log (only ever present alongside a later checkpoint or
+// segment). Removal failures are non-fatal — stale segments only cost
+// replay skips — so only the first error is reported.
+func (l *Log) RemoveSegmentsBelow(startLSN uint64) error {
+	l.mu.Lock()
+	fsys, dir, active := l.fsys, l.dir, l.segStart
+	l.mu.Unlock()
+	var firstErr error
+	for _, name := range Segments(fsys, dir) {
+		lsn, ok := segLSN(name)
+		if name == LogName {
+			lsn, ok = 0, true
+		}
+		if !ok || lsn >= startLSN || lsn == active {
+			continue
+		}
+		if err := fsys.Remove(filepath.Join(dir, name)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Sync fsyncs any appended-but-unsynced records. A failure poisons the
+// log: the unsynced tail is in unknown page-cache state and retrying the
+// fsync cannot bring it back (the fsyncgate rule).
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.poisoned != nil {
+		return l.poisonedErrLocked()
+	}
 	return l.syncLocked()
 }
 
@@ -265,49 +579,41 @@ func (l *Log) syncLocked() error {
 		return nil
 	}
 	if err := l.f.Sync(); err != nil {
+		l.poisonLocked(err)
 		return err
 	}
 	l.dirty = false
 	return nil
 }
 
-// Truncate empties the log — called after a checkpoint made every record
-// redundant. Records keep their monotonically increasing LSNs across
-// truncations, so replay remains unambiguous even if a crash lands between
-// a checkpoint rename and this truncation (the stale records' LSNs are ≤
-// the checkpoint LSN and are skipped).
-func (l *Log) Truncate() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.f.Truncate(0); err != nil {
-		return err
-	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	l.dirty = false
-	return l.f.Sync()
-}
-
-// Size returns the current byte size of the log file.
+// Size returns the byte size of the active segment.
 func (l *Log) Size() (int64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	st, err := l.f.Stat()
-	if err != nil {
-		return 0, err
-	}
-	return st.Size(), nil
+	return l.size, nil
 }
 
-// Close fsyncs and closes the log file.
+// SegmentStart returns the first LSN of the active segment.
+func (l *Log) SegmentStart() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segStart
+}
+
+// Close fsyncs and closes the log file. A poisoned log is closed without
+// syncing — its state is unknown and recovery is the only way forward.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return nil
 	}
-	serr := l.f.Sync()
+	if l.poisoned != nil {
+		l.f.Close()
+		l.f = nil
+		return nil
+	}
+	serr := l.syncLocked()
 	cerr := l.f.Close()
 	l.f = nil
 	if serr != nil {
@@ -327,50 +633,67 @@ type ReplayResult struct {
 	Skipped int
 	// TornTail reports that trailing bytes were discarded as a torn write.
 	TornTail bool
+	// Segments counts the log files read (legacy wal.log included).
+	Segments int
 }
 
-// Replay reads the log at dir and delivers every record with LSN >
-// afterLSN to fn, in log order. Incomplete or checksum-failing trailing
-// records are skipped silently (TornTail is set); a bad record followed by
-// further well-formed records is mid-log corruption and returns ErrCorrupt.
-// A missing log file replays as empty.
-func Replay(dir string, afterLSN uint64, fn func(*Record) error) (ReplayResult, error) {
+// Replay reads the log at dir — the legacy wal.log, then every named
+// segment in LSN order — and delivers every record with LSN > afterLSN to
+// fn, in log order. Incomplete or checksum-failing trailing records are
+// skipped silently (TornTail is set), but only at the very end of the
+// log: a bad record followed by a well-formed record in the same segment,
+// or by ANY data in a later segment, is mid-log corruption and returns
+// ErrCorrupt. (A crash can only tear the final append, and rotation seals
+// a segment with its last frame complete — so torn bytes live in the
+// newest non-empty segment or nowhere; empty trailing segments from an
+// interrupted rotation are fine.) A missing or empty log replays as
+// empty. fsys nil means the process filesystem.
+func Replay(fsys FS, dir string, afterLSN uint64, fn func(*Record) error) (ReplayResult, error) {
+	fsys = realFS(fsys)
 	res := ReplayResult{Last: afterLSN}
-	data, err := os.ReadFile(filepath.Join(dir, LogName))
-	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
-			return res, nil
-		}
-		return res, err
-	}
-
-	off := 0
-	for off < len(data) {
-		rec, frameLen, ok := decodeFrame(data[off:])
-		if !ok {
-			// The frame at off is incomplete, checksum-failing or
-			// undecodable. If any complete, checksum-valid frame follows
-			// it, the log rotted in the middle; otherwise this is the torn
-			// tail of a crashed append.
-			if frameLen > 0 && anyValidFrame(data[off+frameLen:]) {
-				return res, fmt.Errorf("%w: bad record at byte offset %d", ErrCorrupt, off)
+	torn := false
+	for _, name := range Segments(fsys, dir) {
+		data, err := fsys.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue
 			}
-			res.TornTail = true
-			return res, nil
-		}
-		off += frameLen
-		if rec.LSN <= afterLSN {
-			res.Skipped++
-			continue
-		}
-		if rec.LSN != res.Last+1 {
-			return res, fmt.Errorf("%w: record LSN %d after LSN %d (gap)", ErrCorrupt, rec.LSN, res.Last)
-		}
-		if err := fn(rec); err != nil {
 			return res, err
 		}
-		res.Last = rec.LSN
-		res.Replayed++
+		res.Segments++
+		if torn && len(data) > 0 {
+			return res, fmt.Errorf("%w: %s holds data after a torn tail in an earlier segment", ErrCorrupt, name)
+		}
+		off := 0
+		for off < len(data) {
+			rec, frameLen, ok := decodeFrame(data[off:])
+			if !ok {
+				// The frame at off is incomplete, checksum-failing or
+				// undecodable. If any complete, checksum-valid frame
+				// follows it in this segment, the log rotted in the
+				// middle; otherwise this is the torn tail of a crashed
+				// append (later segments are checked above).
+				if frameLen > 0 && anyValidFrame(data[off+frameLen:]) {
+					return res, fmt.Errorf("%w: bad record at byte offset %d of %s", ErrCorrupt, off, name)
+				}
+				torn = true
+				res.TornTail = true
+				break
+			}
+			off += frameLen
+			if rec.LSN <= afterLSN {
+				res.Skipped++
+				continue
+			}
+			if rec.LSN != res.Last+1 {
+				return res, fmt.Errorf("%w: record LSN %d after LSN %d (gap)", ErrCorrupt, rec.LSN, res.Last)
+			}
+			if err := fn(rec); err != nil {
+				return res, err
+			}
+			res.Last = rec.LSN
+			res.Replayed++
+		}
 	}
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -35,7 +36,7 @@ func testRecords() [][]TableDelta {
 func appendAll(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	l, err := Open(dir, 1)
+	l, err := Open(nil, dir, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func appendAll(t *testing.T) string {
 func replayAll(t *testing.T, dir string, afterLSN uint64) ([]*Record, ReplayResult, error) {
 	t.Helper()
 	var recs []*Record
-	res, err := Replay(dir, afterLSN, func(r *Record) error {
+	res, err := Replay(nil, dir, afterLSN, func(r *Record) error {
 		recs = append(recs, r)
 		return nil
 	})
@@ -115,10 +116,12 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 // frames fit completely below the truncation point.
 func TestTornTailSkippedAtEveryOffset(t *testing.T) {
 	dir := appendAll(t)
-	full, err := os.ReadFile(filepath.Join(dir, LogName))
+	full, err := os.ReadFile(filepath.Join(dir, segName(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The truncated copies are written under the legacy single-file name,
+	// so this doubles as coverage for the pre-segment replay path.
 	// Frame boundaries, computed by a clean replay of prefix sizes.
 	boundaries := frameBoundaries(t, full)
 	for cut := 0; cut <= len(full); cut++ {
@@ -171,7 +174,7 @@ func frameBoundaries(t *testing.T, data []byte) []int {
 // payload: later records are intact, so replay must refuse to skip.
 func TestMidLogCorruptionIsHardError(t *testing.T) {
 	dir := appendAll(t)
-	path := filepath.Join(dir, LogName)
+	path := filepath.Join(dir, segName(1))
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -190,7 +193,7 @@ func TestMidLogCorruptionIsHardError(t *testing.T) {
 // with nothing valid after it, the checksum failure reads as a torn tail.
 func TestTrailingCorruptRecordSkipped(t *testing.T) {
 	dir := appendAll(t)
-	path := filepath.Join(dir, LogName)
+	path := filepath.Join(dir, segName(1))
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -219,7 +222,7 @@ func TestReplayMissingLogIsEmpty(t *testing.T) {
 
 func TestAppendAfterReopenContinuesLSN(t *testing.T) {
 	dir := appendAll(t)
-	l, err := Open(dir, 4)
+	l, err := Open(nil, dir, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,29 +242,298 @@ func TestAppendAfterReopenContinuesLSN(t *testing.T) {
 	}
 }
 
-func TestInjectAppendError(t *testing.T) {
+// oneRow is a minimal single-table delta for append tests.
+func oneRow(v int64) []TableDelta {
+	return []TableDelta{{Name: "items", Arity: 1, Ins: []value.Tuple{tup(value.Int(v))}}}
+}
+
+// TestAppendErrorPoisonsLog injects a clean write failure: the append must
+// surface it, and every later append or sync must fail with ErrPoisoned —
+// the log never retries a file whose page-cache state is unknown.
+func TestAppendErrorPoisonsLog(t *testing.T) {
 	dir := t.TempDir()
-	l, err := Open(dir, 1)
+	ffs := NewFaultFS(nil, 1)
+	l, err := Open(ffs, dir, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer l.Close()
+	if _, err := l.Append(KindTxn, oneRow(1), true); err != nil {
+		t.Fatal(err)
+	}
 	boom := errors.New("boom")
-	l.InjectAppendError(boom)
-	if _, err := l.Append(KindTxn, nil, true); !errors.Is(err, boom) {
+	ffs.Inject(&Rule{Op: OpWrite, Err: boom, Once: true})
+	if _, err := l.Append(KindTxn, oneRow(2), true); !errors.Is(err, boom) {
 		t.Fatalf("want injected error, got %v", err)
 	}
-	sz, err := l.Size()
-	if err != nil || sz != 0 {
-		t.Fatalf("failed append wrote bytes: size=%d err=%v", sz, err)
+	// The fault is gone, but the log must stay poisoned anyway.
+	if _, err := l.Append(KindTxn, oneRow(3), true); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after failure: want ErrPoisoned, got %v", err)
 	}
-	l.InjectAppendError(nil)
-	if _, err := l.Append(KindTxn, nil, true); err != nil {
-		t.Fatal(err)
+	if err := l.Sync(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("sync after failure: want ErrPoisoned, got %v", err)
+	}
+	if err := l.Poisoned(); !errors.Is(err, ErrPoisoned) || !errors.Is(err, boom) {
+		t.Fatalf("Poisoned() = %v; want ErrPoisoned wrapping the cause", err)
 	}
 	if got := l.LastLSN(); got != 1 {
 		t.Fatalf("LSN consumed by failed append: last=%d", got)
 	}
+}
+
+// TestShortWritePoisonsAndRecoveryTrims injects a torn append (half the
+// frame persists): the log must poison itself, and replay must deliver
+// exactly the acknowledged records, reporting the torn tail.
+func TestShortWritePoisonsAndRecoveryTrims(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil, 1)
+	l, err := Open(ffs, dir, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindTxn, oneRow(1), true); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(&Rule{Op: OpWrite, ShortWrite: true, Once: true})
+	if _, err := l.Append(KindTxn, oneRow(2), false); err == nil {
+		t.Fatal("short write did not error")
+	}
+	if _, err := l.Append(KindTxn, oneRow(3), false); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("want ErrPoisoned, got %v", err)
+	}
+	l.Close()
+	recs, res, err := replayAll(t, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !res.TornTail {
+		t.Fatalf("got %d records, result %+v; want 1 record and a torn tail", len(recs), res)
+	}
+	// Open trims the torn bytes and appends where the valid prefix ends.
+	l2, err := Open(ffs, dir, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.Append(KindTxn, oneRow(2), true); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	recs, res, err = replayAll(t, dir, 0)
+	if err != nil || len(recs) != 2 || res.TornTail {
+		t.Fatalf("after trim+append: recs=%d res=%+v err=%v", len(recs), res, err)
+	}
+}
+
+// TestSyncErrorPoisonsLog injects an fsync failure on a synced append.
+func TestSyncErrorPoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil, 1)
+	l, err := Open(ffs, dir, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ffs.Inject(&Rule{Op: OpSync, Err: ErrNoSpace, Path: segPrefix, Once: true})
+	if _, err := l.Append(KindTxn, oneRow(1), true); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	if _, err := l.Append(KindTxn, oneRow(2), true); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("want ErrPoisoned, got %v", err)
+	}
+}
+
+// TestSegmentRotation drives the log across a tiny rotation threshold and
+// checks the segment layout, replay, and GC watermark behavior.
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(nil, dir, 1, 128) // rotate every ~128 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 1; i <= n; i++ {
+		if _, err := l.Append(KindTxn, oneRow(int64(i)), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := Segments(nil, dir)
+	if len(segs) < 3 {
+		t.Fatalf("expected several segments, got %v", segs)
+	}
+	// Replay concatenates segments into one contiguous stream.
+	recs, res, err := replayAll(t, dir, 0)
+	if err != nil || len(recs) != n || res.Segments != len(segs) {
+		t.Fatalf("recs=%d res=%+v err=%v", len(recs), res, err)
+	}
+	for i, rec := range recs {
+		if rec.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, rec.LSN)
+		}
+	}
+	// RotateForCheckpoint seals the active segment; removing below the
+	// returned watermark must keep every record at or after it.
+	watermark, err := l.RotateForCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RemoveSegmentsBelow(watermark); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err = replayAll(t, dir, watermark-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n-int(watermark)+1 {
+		t.Fatalf("after GC: %d records from LSN %d, want %d", len(recs), watermark, n-int(watermark)+1)
+	}
+	if _, err := l.Append(KindTxn, oneRow(99), true); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+}
+
+// TestRotationCreateFailureDegradesGracefully: if the next segment cannot
+// be created, the log keeps appending to the (oversized) current one
+// rather than failing writes.
+func TestRotationCreateFailureDegradesGracefully(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil, 1)
+	l, err := Open(ffs, dir, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ffs.Inject(&Rule{Op: OpOpen, Path: segPrefix}) // every segment create fails
+	for i := 1; i <= 10; i++ {
+		if _, err := l.Append(KindTxn, oneRow(int64(i)), false); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	ffs.Clear()
+	recs, _, err := replayAll(t, dir, 0)
+	if err != nil || len(recs) != 10 {
+		t.Fatalf("recs=%d err=%v", len(recs), err)
+	}
+	if got := len(Segments(ffs, dir)); got != 1 {
+		t.Fatalf("rotation happened despite create failures: %d segments", got)
+	}
+}
+
+// TestReplayCorruptionAcrossSegments: a torn tail in a NON-final segment
+// followed by valid records in a later segment is corruption, not a torn
+// tail.
+func TestReplayCorruptionAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(nil, dir, 1, 1) // rotate on every append
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append(KindTxn, oneRow(int64(i)), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs := Segments(nil, dir)
+	if len(segs) != 3 {
+		t.Fatalf("want 3 segments, got %v", segs)
+	}
+	// Truncate the middle segment mid-frame.
+	mid := filepath.Join(dir, segs[1])
+	data, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mid, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := replayAll(t, dir, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	// Truncating the FINAL segment instead is an ordinary torn tail.
+	if err := os.WriteFile(mid, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	last := filepath.Join(dir, segs[2])
+	data, err = os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, res, err := replayAll(t, dir, 0)
+	if err != nil || len(recs) != 2 || !res.TornTail {
+		t.Fatalf("recs=%d res=%+v err=%v", len(recs), res, err)
+	}
+}
+
+// TestCheckpointRenameFailureLeavesNoTemp: a failed checkpoint rename must
+// not leave its temp file, and a torn rename's partial live file must fall
+// back to the previous generation — then be swept by the next success.
+func TestCheckpointRenameFailureLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil, 1)
+	if err := WriteCheckpoint(ffs, dir, &Checkpoint{LSN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(&Rule{Op: OpRename, TornRename: true, Once: true})
+	if err := WriteCheckpoint(ffs, dir, &Checkpoint{LSN: 2}); err == nil {
+		t.Fatal("torn rename did not error")
+	}
+	for _, name := range listDir(t, dir) {
+		if strings.HasSuffix(name, tmpSuffix) {
+			t.Fatalf("temp file left behind: %s", name)
+		}
+	}
+	// The partial generation-2 file fails its checksum; generation 1 loads.
+	ck, err := LatestCheckpoint(ffs, dir)
+	if err != nil || ck.LSN != 1 {
+		t.Fatalf("ck=%+v err=%v; want fallback to LSN 1", ck, err)
+	}
+	// The next successful checkpoint replaces everything older.
+	if err := WriteCheckpoint(ffs, dir, &Checkpoint{LSN: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ck, err = LatestCheckpoint(ffs, dir)
+	if err != nil || ck.LSN != 3 {
+		t.Fatalf("ck=%+v err=%v", ck, err)
+	}
+	names := listDir(t, dir)
+	if len(names) != 1 || names[0] != ckptName(3) {
+		t.Fatalf("stale files not removed: %v", names)
+	}
+}
+
+// TestOpenSweepsStaleTemps: temp files stranded by a crashed checkpoint
+// (its cleanup also failed) are removed on the next Open.
+func TestOpenSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	stray := filepath.Join(dir, ckptPrefix+"12345"+tmpSuffix)
+	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(nil, dir, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stale temp not swept: %v", err)
+	}
+}
+
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		out = append(out, e.Name())
+	}
+	return out
 }
 
 func TestCheckpointRoundTrip(t *testing.T) {
@@ -286,10 +558,10 @@ func TestCheckpointRoundTrip(t *testing.T) {
 			Incremental: true,
 		}},
 	}
-	if err := WriteCheckpoint(dir, ck); err != nil {
+	if err := WriteCheckpoint(nil, dir, ck); err != nil {
 		t.Fatal(err)
 	}
-	got, err := LatestCheckpoint(dir)
+	got, err := LatestCheckpoint(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,14 +588,14 @@ func TestCheckpointRoundTrip(t *testing.T) {
 // valid one must be loaded instead.
 func TestLatestCheckpointFallsBack(t *testing.T) {
 	dir := t.TempDir()
-	if err := WriteCheckpoint(dir, &Checkpoint{LSN: 1}); err != nil {
+	if err := WriteCheckpoint(nil, dir, &Checkpoint{LSN: 1}); err != nil {
 		t.Fatal(err)
 	}
 	old, err := os.ReadFile(filepath.Join(dir, ckptName(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteCheckpoint(dir, &Checkpoint{LSN: 2}); err != nil {
+	if err := WriteCheckpoint(nil, dir, &Checkpoint{LSN: 2}); err != nil {
 		t.Fatal(err)
 	}
 	// WriteCheckpoint removed generation 1; restore it, then corrupt 2.
@@ -339,7 +611,7 @@ func TestLatestCheckpointFallsBack(t *testing.T) {
 	if err := os.WriteFile(path2, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	ck, err := LatestCheckpoint(dir)
+	ck, err := LatestCheckpoint(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +621,7 @@ func TestLatestCheckpointFallsBack(t *testing.T) {
 }
 
 func TestLatestCheckpointEmptyDir(t *testing.T) {
-	ck, err := LatestCheckpoint(t.TempDir())
+	ck, err := LatestCheckpoint(nil, t.TempDir())
 	if err != nil || ck != nil {
 		t.Fatalf("ck=%v err=%v", ck, err)
 	}
@@ -364,5 +636,98 @@ func TestParseSyncMode(t *testing.T) {
 	}
 	if _, err := ParseSyncMode("nope"); err == nil {
 		t.Fatal("want error for unknown mode")
+	}
+}
+
+// TestTornTailInOlderSegmentIsCorrupt: torn bytes are tolerated only in
+// the newest non-empty segment — a crash can only tear the final append,
+// so garbage followed by ANY data in a later segment is corruption, not a
+// torn tail, even when that later data never decodes as a record.
+func TestTornTailInOlderSegmentIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(nil, dir, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append(KindTxn, oneRow(int64(i)), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg1 := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg1, append(data, 0xde, 0xad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(4)), []byte{0xbe, 0xef}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(nil, dir, 0, func(*Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay: %v, want ErrCorrupt", err)
+	}
+
+	// An EMPTY later segment is the legitimate interrupted-rotation shape:
+	// the torn tail stays a torn tail.
+	if err := os.WriteFile(filepath.Join(dir, segName(4)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(nil, dir, 0, func(*Record) error { return nil })
+	if err != nil || !res.TornTail || res.Last != 3 {
+		t.Fatalf("replay with empty trailing segment: res=%+v err=%v", res, err)
+	}
+}
+
+// TestOpenDropsTrailingEmptySegments: Open must remove empty trailing
+// segments and trim the torn tail of the newest non-empty one, so the next
+// append can never strand torn bytes in the middle of the log.
+func TestOpenDropsTrailingEmptySegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(nil, dir, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append(KindTxn, oneRow(int64(i)), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg1 := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg1, append(data, 0x01, 0x02, 0x03), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(4)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = Open(nil, dir, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindTxn, oneRow(4), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var lsns []uint64
+	res, err := Replay(nil, dir, 0, func(r *Record) error { lsns = append(lsns, r.LSN); return nil })
+	if err != nil || res.TornTail {
+		t.Fatalf("replay after recovery append: res=%+v err=%v", res, err)
+	}
+	if len(lsns) != 4 || lsns[3] != 4 {
+		t.Fatalf("replayed %v, want LSNs 1..4", lsns)
 	}
 }
