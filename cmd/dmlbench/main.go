@@ -90,11 +90,11 @@ func main() {
 	} else {
 		fmt.Printf("dmlbench: n=%d writes=%d stream=%s\n", *n, *writes, *stream)
 	}
-	fmt.Printf("%-12s %14s %14s %12s %12s %12s\n",
-		"batch", "ns/write", "writes/s", "p50", "p95", "p99")
+	fmt.Printf("%-12s %14s %14s %12s %12s %12s %10s\n",
+		"batch", "ns/write", "writes/s", "p50", "p95", "p99", "peak-MB")
 	var base float64
 	for _, bs := range sizes {
-		perWrite, lat, err := run(*n, *writes, bs, *flushEvery, txn, *durable, syncMode, *segBytes, *ckptEvery)
+		perWrite, lat, heap, err := run(*n, *writes, bs, *flushEvery, txn, *durable, syncMode, *segBytes, *ckptEvery)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmlbench:", err)
 			os.Exit(1)
@@ -102,9 +102,10 @@ func main() {
 		if base == 0 {
 			base = perWrite
 		}
-		fmt.Printf("%-12d %14.0f %14.0f %12v %12v %12v   (%.2fx vs batch=%d)\n",
+		fmt.Printf("%-12d %14.0f %14.0f %12v %12v %12v %10.1f   (%.2fx vs batch=%d)\n",
 			bs, perWrite, 1e9/perWrite,
 			pct(lat, 0.50), pct(lat, 0.95), pct(lat, 0.99),
+			float64(heap.PeakOverhead())/1e6,
 			base/perWrite, sizes[0])
 	}
 }
@@ -119,17 +120,18 @@ func pct(sorted []time.Duration, q float64) time.Duration {
 
 // run measures one configuration: writes transactions through a fresh
 // fixture and batcher, returning the amortized ns per write (final flush
-// included) and the sorted per-write latency sample. With durableDir set,
-// the fixture logs into a per-batch-size subdirectory so the sweep's
-// configurations don't share a WAL.
-func run(n, writes, batch int, flushEvery time.Duration, txn func(*engine.Batcher, int, int) error, durableDir string, sync wal.SyncMode, segBytes int64, ckptEvery int) (float64, []time.Duration, error) {
+// included), the sorted per-write latency sample, and the heap measurement
+// of the measured stream (peak overhead above the resident fixture). With
+// durableDir set, the fixture logs into a per-batch-size subdirectory so
+// the sweep's configurations don't share a WAL.
+func run(n, writes, batch int, flushEvery time.Duration, txn func(*engine.Batcher, int, int) error, durableDir string, sync wal.SyncMode, segBytes int64, ckptEvery int) (float64, []time.Duration, bench.HeapStats, error) {
 	var db *engine.DB
 	var bt *engine.Batcher
 	var err error
 	if durableDir != "" {
 		dir := filepath.Join(durableDir, fmt.Sprintf("batch%d", batch))
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return 0, nil, err
+			return 0, nil, bench.HeapStats{}, err
 		}
 		db, bt, err = bench.SetupBatchedDMLDurableOpts(n, batch, 1, engine.DurabilityOptions{
 			Dir:             dir,
@@ -141,7 +143,7 @@ func run(n, writes, batch int, flushEvery time.Duration, txn func(*engine.Batche
 		db, bt, err = bench.SetupBatchedDML(n, batch, 1)
 	}
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, bench.HeapStats{}, err
 	}
 	defer db.Close()
 	if flushEvery > 0 {
@@ -149,23 +151,27 @@ func run(n, writes, batch int, flushEvery time.Duration, txn func(*engine.Batche
 		bt = db.Batch(engine.BatchOptions{MaxTxns: batch, FlushInterval: flushEvery})
 	}
 	lat := make([]time.Duration, 0, writes)
-	start := time.Now()
-	for i := 1; i <= writes; i++ {
-		t0 := time.Now()
-		if err := txn(bt, n, i); err != nil {
-			return 0, nil, err
+	var elapsed time.Duration
+	heap := bench.MeasureHeapPeak(func() {
+		start := time.Now()
+		for i := 1; i <= writes; i++ {
+			t0 := time.Now()
+			if err = txn(bt, n, i); err != nil {
+				return
+			}
+			lat = append(lat, time.Since(t0))
 		}
-		lat = append(lat, time.Since(t0))
+		err = bt.Close()
+		elapsed = time.Since(start)
+	})
+	if err != nil {
+		return 0, nil, bench.HeapStats{}, err
 	}
-	if err := bt.Close(); err != nil {
-		return 0, nil, err
-	}
-	elapsed := time.Since(start)
 	for _, vn := range bench.DMLMaintenanceViews() {
 		if db.Stale(vn) {
-			return 0, nil, fmt.Errorf("view %s fell off the incremental path", vn)
+			return 0, nil, bench.HeapStats{}, fmt.Errorf("view %s fell off the incremental path", vn)
 		}
 	}
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	return float64(elapsed.Nanoseconds()) / float64(writes), lat, nil
+	return float64(elapsed.Nanoseconds()) / float64(writes), lat, heap, nil
 }

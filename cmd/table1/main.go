@@ -29,7 +29,10 @@ func main() {
 		GuideBudget:      *budget,
 		Seed:             1,
 	}}
-	rows := bench.RunTable1Parallel(opts, *parallel)
+	var rows []bench.Table1Row
+	heap := bench.MeasureHeapPeak(func() {
+		rows = bench.RunTable1Parallel(opts, *parallel)
+	})
 	fmt.Println("Table 1: validation results (reproduction)")
 	fmt.Println()
 	fmt.Print(bench.FormatTable1(rows))
@@ -48,4 +51,6 @@ func main() {
 	}
 	fmt.Printf("\nsummary: %d/32 validated, %d LVGN-Datalog, %d NR-Datalog, 1 not expressible (aggregation)\n",
 		valid, lvgn, nr)
+	fmt.Printf("memory: %.1f MB peak heap over baseline during validation, %.1f MB retained\n",
+		float64(heap.PeakOverhead())/1e6, float64(heap.LiveOverhead())/1e6)
 }

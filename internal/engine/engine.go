@@ -39,6 +39,7 @@ type DB struct {
 	dirty       map[string]bool // views whose materialization is stale
 	viewOrder   []string        // views in dependency order (sources first); rebuilt on CreateView
 	parallelism int             // evaluator workers for views (0 = sequential)
+	execMode    eval.ExecMode   // execution strategy for view evaluators (zero = streaming)
 
 	// batcher, when non-nil, routes Exec through the group-commit write
 	// pipeline (batch.go). Atomic so Exec can read it without taking the
@@ -129,6 +130,34 @@ func (v *View) setParallelism(p int) {
 		v.consEval.SetParallelism(p)
 	}
 	v.Strategy.Evaluator().SetParallelism(p)
+}
+
+// SetExecMode selects the execution strategy for full evaluations behind
+// view operations, for existing and future views: eval.ExecStreaming (the
+// default) pipelines joins through ephemeral hash tables built on the small
+// side; eval.ExecMaterialized restores the index-everything executor. The
+// two produce identical results — materialized mode exists as the
+// differential oracle and as an escape hatch. Incremental delta propagation
+// is unaffected either way.
+func (db *DB) SetExecMode(m eval.ExecMode) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.execMode = m
+	for _, v := range db.views {
+		v.setExecMode(m)
+	}
+}
+
+// setExecMode applies the execution strategy to every evaluator of the view.
+func (v *View) setExecMode(m eval.ExecMode) {
+	v.getEval.SetExecMode(m)
+	if v.incEval != nil {
+		v.incEval.SetExecMode(m)
+	}
+	if v.consEval != nil {
+		v.consEval.SetExecMode(m)
+	}
+	v.Strategy.Evaluator().SetExecMode(m)
 }
 
 // CreateTable registers a base table.
@@ -275,6 +304,7 @@ func (db *DB) CreateViewFromProgram(prog *datalog.Program, opts ViewOptions) (*V
 	if par > 0 {
 		v.setParallelism(par)
 	}
+	v.setExecMode(db.execMode)
 
 	// The initial materialization below may overwrite auxiliary relations
 	// an existing view's get program also materializes; those views' counts

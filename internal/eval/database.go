@@ -273,6 +273,19 @@ func (db *Database) Index(p datalog.PredSym, positions []int) *hashIndex {
 	return ix
 }
 
+// existingIndex returns the maintained index on p for exactly the given
+// positions, or nil, without building one and without marking it hot — the
+// streaming evaluator's way of reusing an index somebody else already pays
+// for, while never causing the Database to build or keep one.
+func (db *Database) existingIndex(p datalog.PredSym, positions []int) *hashIndex {
+	for _, ix := range db.indexes[p] {
+		if slices.Equal(ix.positions, positions) {
+			return ix
+		}
+	}
+	return nil
+}
+
 // Lookup returns the tuples of p whose projection on positions equals key.
 // The probe hashes key in place; no per-probe tuple or key string is
 // allocated. The returned slice is owned by the index and must not be

@@ -25,6 +25,7 @@ type Evaluator struct {
 	constraints []*compiledRule
 	arities     map[datalog.PredSym]int
 	parallelism int
+	mode        ExecMode // full-eval execution mode; zero value = ExecStreaming
 
 	// Counting-based incremental view maintenance state (ivm.go): the
 	// per-IDB support counts EvalDelta keeps, and the compiled delta plans
@@ -134,24 +135,57 @@ func (e *Evaluator) Eval(db *Database) error {
 }
 
 // evalPreds evaluates the IDB predicates for which include returns true (a
-// nil include evaluates all), level by level.
+// nil include evaluates all), level by level. In streaming mode (the
+// default) each rule runs its cheapest driver variant over ephemeral probe
+// tables shared through one per-evaluation context; materialized mode keeps
+// the compile-time join order and maintained indexes.
 func (e *Evaluator) evalPreds(db *Database, include map[datalog.PredSym]bool) error {
-	// A full evaluation replaces IDB relations wholesale, so any support
-	// counts kept by EvalDelta no longer describe the materialized state;
-	// the next EvalDelta re-initializes from scratch.
-	e.ivm = nil
+	var ec *evalCtx
+	if e.mode == ExecStreaming {
+		ec = newEvalCtx()
+	}
 	if e.parallelism > 1 {
-		return e.evalParallel(db, include)
+		return e.evalParallel(db, ec, include)
 	}
 	for _, sym := range e.order {
 		if include != nil && !include[sym] {
 			continue
 		}
-		if err := e.evalPredSequential(db, sym); err != nil {
+		var err error
+		if ec != nil {
+			err = e.evalPredStreaming(db, ec, sym)
+		} else {
+			err = e.evalPredSequential(db, sym)
+		}
+		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// installEval installs one predicate's freshly evaluated relation. A full
+// evaluation replacing IDB relations wholesale invalidates any support
+// counts EvalDelta keeps — except when the evaluation is a no-op for the
+// predicate (the new relation equals the installed one): then the
+// materialized state is untouched and valid maintenance state for db
+// survives. Counts are dropped lazily, on the first output that actually
+// changed. The equality check is the safety net for databases mutated
+// behind the evaluator's back; under EvalDelta's documented contract
+// (every EDB change flows through it) surviving counts already describe
+// the current EDB exactly.
+func (e *Evaluator) installEval(db *Database, sym datalog.PredSym, out *value.Relation) {
+	if e.IVMReady(db) {
+		old := db.Rel(sym)
+		if (old == nil && out.Empty()) || (old != nil && old.Equal(out)) {
+			return
+		}
+		e.ivm = nil
+	}
+	// Update, not Set: keep any join indexes on the IDB predicate alive,
+	// rebuilt from the fresh relation, instead of dropping them to be
+	// lazily reconstructed on the next evaluation.
+	db.Update(sym, out)
 }
 
 // evalPredSequential evaluates one IDB predicate's rules on the calling
@@ -168,10 +202,7 @@ func (e *Evaluator) evalPredSequential(db *Database, sym datalog.PredSym) error 
 			return err
 		}
 	}
-	// Update, not Set: keep any join indexes on the IDB predicate alive,
-	// rebuilt from the fresh relation, instead of dropping them to be
-	// lazily reconstructed on the next evaluation.
-	db.Update(sym, out)
+	e.installEval(db, sym, out)
 	return nil
 }
 
@@ -278,6 +309,13 @@ type compiledRule struct {
 	head  []argSlot // nil for constraints
 	en    *env
 	rc    runCtx // reusable lazy-probe context for sequential runs
+
+	// variants are alternative plans for the streaming executor, one per
+	// positive body atom forced first as the streamed outer scan (stream.go);
+	// pickVariant chooses among them per evaluation by build-side cost.
+	// Variants have their own variable numbering and environments and no
+	// variants of their own.
+	variants []*compiledRule
 }
 
 // varIndexer assigns dense indexes to variable names.
@@ -305,16 +343,60 @@ func termSlot(vi *varIndexer, t datalog.Term) argSlot {
 	}
 }
 
-// compileRule orders the body literals greedily so every step's inputs are
-// bound when it runs, and precomputes probe-key positions for hash lookups.
+// compileRule compiles the rule's primary plan (greedy literal order) and
+// its streaming driver variants: one extra plan per positive body atom,
+// with that atom forced to run first as a full outer scan. A variant whose
+// forced order is unevaluable is skipped; the primary plan's order is the
+// correctness baseline.
 func compileRule(r *datalog.Rule) (*compiledRule, error) {
-	vi := &varIndexer{idx: make(map[string]int)}
-	cr := &compiledRule{rule: r}
-	steps, err := compileBody(vi, make(map[string]bool), r.Body, nil, r)
+	cr, err := compilePlan(r, -1)
 	if err != nil {
 		return nil, err
 	}
-	cr.steps = steps
+	for di, l := range r.Body {
+		if l.Atom == nil || l.Neg {
+			continue
+		}
+		if v, err := compilePlan(r, di); err == nil {
+			cr.variants = append(cr.variants, v)
+		}
+	}
+	return cr, nil
+}
+
+// compilePlan orders the body literals greedily so every step's inputs are
+// bound when it runs, and precomputes probe-key positions for hash lookups.
+// driver >= 0 forces body literal driver (a positive atom) to run first as
+// a full scan — constants and repeated variables filter during the scan —
+// with the remaining literals greedily ordered against its bindings;
+// driver < 0 lets the greedy ordering pick freely.
+func compilePlan(r *datalog.Rule, driver int) (*compiledRule, error) {
+	vi := &varIndexer{idx: make(map[string]int)}
+	cr := &compiledRule{rule: r}
+	bound := make(map[string]bool)
+	lits := r.Body
+	if driver >= 0 {
+		dl := r.Body[driver]
+		st := step{kind: stepScan, pred: dl.Atom.Pred}
+		for _, t := range dl.Atom.Args {
+			st.args = append(st.args, termSlot(vi, t))
+			if t.IsVar() {
+				bound[t.Var] = true
+			}
+		}
+		cr.steps = append(cr.steps, st)
+		lits = make([]datalog.Literal, 0, len(r.Body)-1)
+		for j, l := range r.Body {
+			if j != driver {
+				lits = append(lits, l)
+			}
+		}
+	}
+	steps, err := compileBody(vi, bound, lits, nil, r)
+	if err != nil {
+		return nil, err
+	}
+	cr.steps = append(cr.steps, steps...)
 
 	if r.Head != nil {
 		for _, t := range r.Head.Args {
@@ -547,15 +629,20 @@ func (e *env) get(s argSlot) value.Value {
 }
 
 // runCtx resolves a plan's relation reads and index probes. In lazy mode
-// (rels == nil) it goes through the Database, building indexes on demand —
-// the sequential path. In prepared mode every step's relation and index was
-// resolved up front by prepare, making execution a pure read over the
-// database: that is the read-only evaluation snapshot parallel workers run
-// against.
+// (rels == nil) it goes through the Database, building maintained indexes on
+// demand — the materialized-mode sequential path. In prepared mode every
+// step's relation and probe structure was resolved up front (prepare for the
+// materialized parallel path, prepareStream for the streaming path), making
+// execution a pure read over the database: that is the read-only evaluation
+// snapshot parallel workers run against. A keyed step probes, in order of
+// preference, its ephemeral join/exist table (streaming), its resolved
+// maintained index, or the Database lazily.
 type runCtx struct {
 	db   *Database
 	rels []*value.Relation // per step; nil slice = lazy mode
-	ixs  []*hashIndex      // per step; non-nil exactly for keyed steps in prepared mode
+	ixs  []*hashIndex      // per step; non-nil for keyed steps resolved to a maintained index
+	tabs []*joinTable      // per step; streaming mode: ephemeral full join table
+	exts []*existTable     // per step; streaming mode: ephemeral distinct-key table (negation)
 }
 
 // relAt returns the relation read by step i.
@@ -566,12 +653,35 @@ func (rc *runCtx) relAt(i int, p datalog.PredSym) *value.Relation {
 	return rc.db.Rel(p)
 }
 
-// lookupAt probes the index of keyed step i.
+// lookupAt probes the resolved index (or, lazily, the database) of keyed
+// step i, returning the matching tuples. The streaming path's ephemeral
+// tables are probed through tabAt/cursor instead — a value-type cursor, so
+// the per-outer-tuple probe stays allocation-free.
 func (rc *runCtx) lookupAt(i int, st *step, key value.Tuple) []value.Tuple {
-	if rc.ixs != nil {
+	if rc.ixs != nil && rc.ixs[i] != nil {
 		return rc.ixs[i].lookup(key)
 	}
 	return rc.db.Lookup(st.pred, st.keyPos, key)
+}
+
+// tabAt returns the ephemeral join table of keyed step i, or nil.
+func (rc *runCtx) tabAt(i int) *joinTable {
+	if rc.tabs == nil {
+		return nil
+	}
+	return rc.tabs[i]
+}
+
+// hasMatchAt reports whether keyed step i has any tuple matching key — the
+// existence probe negated atoms need.
+func (rc *runCtx) hasMatchAt(i int, st *step, key value.Tuple) bool {
+	if rc.exts != nil && rc.exts[i] != nil {
+		return rc.exts[i].has(key)
+	}
+	if jt := rc.tabAt(i); jt != nil {
+		return jt.hasMatch(key)
+	}
+	return len(rc.lookupAt(i, st, key)) > 0
 }
 
 // prepare resolves every relation and index the plan may touch, mutating the
@@ -698,7 +808,7 @@ func (cr *compiledRule) exec(rc *runCtx, en *env, i int, emit func(value.Tuple) 
 		for j, p := range st.keyPos {
 			key[j] = en.get(st.args[p])
 		}
-		if len(rc.lookupAt(i, st, key)) > 0 {
+		if rc.hasMatchAt(i, st, key) {
 			return true, nil
 		}
 		return cr.exec(rc, en, i+1, emit)
@@ -761,6 +871,19 @@ func (cr *compiledRule) exec(rc *runCtx, en *env, i int, emit func(value.Tuple) 
 		key := en.scratch[i]
 		for j, p := range st.keyPos {
 			key[j] = en.get(st.args[p])
+		}
+		if jt := rc.tabAt(i); jt != nil {
+			for c := jt.cursor(key); ; {
+				t, ok := c.next()
+				if !ok {
+					break
+				}
+				cont, err := tryTuple(t)
+				if err != nil || !cont {
+					return cont, err
+				}
+			}
+			return true, nil
 		}
 		for _, t := range rc.lookupAt(i, st, key) {
 			cont, err := tryTuple(t)

@@ -58,7 +58,9 @@ func (d Delta) Empty() bool {
 // ivmState is the maintenance state EvalDelta keeps between calls: the
 // database whose IDB relations the support counts describe. The state is
 // valid only while every change to db's EDB relations flows through
-// EvalDelta; any full evaluation drops it.
+// EvalDelta; a full evaluation that actually changes an IDB relation drops
+// it (a no-op evaluation leaves the materialized state — and therefore the
+// counts describing it — intact).
 type ivmState struct {
 	db     *Database
 	counts map[datalog.PredSym]*value.CountedRelation
@@ -227,13 +229,17 @@ func (e *Evaluator) initIVM(db *Database) (map[datalog.PredSym]Delta, error) {
 	if e.parallelism > 1 {
 		return e.initIVMParallel(db)
 	}
+	var ec *evalCtx
+	if e.mode == ExecStreaming {
+		ec = newEvalCtx()
+	}
 	counts := make(map[datalog.PredSym]*value.CountedRelation, len(e.order))
 	out := make(map[datalog.PredSym]Delta)
 	for _, sym := range e.order {
 		cnt := value.NewCounted(e.arities[sym])
 		rel := value.NewRelation(e.arities[sym])
 		for _, cr := range e.rules[sym] {
-			if err := cr.run(db, func(t value.Tuple) bool {
+			if err := runFull(db, ec, cr, func(t value.Tuple) bool {
 				if appeared, _ := cnt.Adjust(t, 1); appeared {
 					rel.Add(t)
 				}
@@ -252,19 +258,22 @@ func (e *Evaluator) initIVM(db *Database) (map[datalog.PredSym]Delta, error) {
 // installCounted replaces sym's relation with its freshly counted
 // materialization, recording the net delta against what db held before.
 func (e *Evaluator) installCounted(db *Database, sym datalog.PredSym, rel *value.Relation, out map[datalog.PredSym]Delta) {
-	old := orEmpty(db.Rel(sym), e.arities[sym])
+	old := db.Rel(sym)
 	db.Update(sym, rel)
+	if old == nil || old.Empty() {
+		// Fresh install — the delta's insert side is the whole relation. A
+		// COW snapshot shares its storage instead of copying O(|rel|)
+		// tuples, which at cold start (every IDB relation new) would
+		// double the init's materialized footprint.
+		if !rel.Empty() {
+			out[sym] = Delta{Ins: rel.Snapshot(), Del: value.NewRelation(e.arities[sym])}
+		}
+		return
+	}
 	d := Delta{Ins: rel.Minus(old), Del: old.Minus(rel)}
 	if !d.Empty() {
 		out[sym] = d
 	}
-}
-
-func orEmpty(r *value.Relation, arity int) *value.Relation {
-	if r != nil {
-		return r
-	}
-	return value.NewRelation(arity)
 }
 
 // SupportCount reports the maintained support count of tuple t in relation

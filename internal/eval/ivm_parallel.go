@@ -76,6 +76,10 @@ func (e *Evaluator) evalDeltaLevelParallel(dc *deltaCtx, level []datalog.PredSym
 // over disjoint derivation sets, so the merge is order-independent) and
 // installs the materialized relations in level order.
 func (e *Evaluator) initIVMParallel(db *Database) (map[datalog.PredSym]Delta, error) {
+	var ec *evalCtx
+	if e.mode == ExecStreaming {
+		ec = newEvalCtx()
+	}
 	counts := make(map[datalog.PredSym]*value.CountedRelation, len(e.order))
 	out := make(map[datalog.PredSym]Delta)
 	for _, level := range e.levels {
@@ -90,7 +94,7 @@ func (e *Evaluator) initIVMParallel(db *Database) (map[datalog.PredSym]Delta, er
 				cnt := value.NewCounted(e.arities[sym])
 				rel := value.NewRelation(e.arities[sym])
 				for _, cr := range e.rules[sym] {
-					if err := cr.run(db, func(t value.Tuple) bool {
+					if err := runFull(db, ec, cr, func(t value.Tuple) bool {
 						if appeared, _ := cnt.Adjust(t, 1); appeared {
 							rel.Add(t)
 						}
@@ -120,13 +124,13 @@ func (e *Evaluator) initIVMParallel(db *Database) (map[datalog.PredSym]Delta, er
 		for si, sym := range level {
 			arity := e.arities[sym]
 			for _, cr := range e.rules[sym] {
-				rc := cr.prepare(db)
-				shardStep, nshards := cr.shardPlan(rc, e.parallelism)
+				plan, rc := cr.preparePlan(db, ec)
+				shardStep, nshards := plan.shardPlan(rc, e.parallelism)
 				for s := 0; s < nshards; s++ {
 					partial := value.NewCounted(arity)
 					partials[si] = append(partials[si], partial)
 					tasks = append(tasks, initTask{
-						cr: cr, rc: rc, out: partial,
+						cr: plan, rc: rc, out: partial,
 						shardStep: shardStep, shard: s, nshards: nshards,
 					})
 				}

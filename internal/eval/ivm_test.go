@@ -215,8 +215,11 @@ func TestEvalDeltaMatchesFullRecompute(t *testing.T) {
 }
 
 // TestEvalDeltaAfterFullEvalReinitializes pins the invalidation contract: a
-// full Eval drops the counts, and the next EvalDelta re-initializes rather
-// than propagating against stale state.
+// full Eval whose output differs from the materialized state drops the
+// counts, and the next EvalDelta re-initializes rather than propagating
+// against stale state — while a no-op Eval (nothing changed, so the counts
+// still describe the installed relations exactly) keeps the state, and a
+// later EvalDelta propagates incrementally instead of re-initializing.
 func TestEvalDeltaAfterFullEvalReinitializes(t *testing.T) {
 	prog := mustProg(t, `
 source r(a:int).
@@ -237,20 +240,38 @@ d(X) :- r(X), not s(X).
 	if !ev.IVMReady(db) {
 		t.Fatal("expected IVM state after EvalDelta")
 	}
+
+	// Regression (ISSUE 9): a full Eval over an unchanged database is a
+	// no-op per predicate, so the support counts survive it.
+	if err := ev.Eval(db); err != nil {
+		t.Fatal(err)
+	}
+	if !ev.IVMReady(db) {
+		t.Fatal("no-op full Eval must keep IVM state")
+	}
+	if got := ev.SupportCount(datalog.Pred("d"), value.Tuple{value.Int(1)}); got != 1 {
+		t.Fatalf("support of d(1) after no-op Eval = %d, want 1", got)
+	}
+
+	// Mutate the EDB outside EvalDelta: the next full Eval produces a
+	// different d, which must invalidate the counts.
+	db.Insert(datalog.Pred("r"), value.Tuple{value.Int(3)})
 	if err := ev.Eval(db); err != nil {
 		t.Fatal(err)
 	}
 	if ev.IVMReady(db) {
-		t.Fatal("full Eval must invalidate IVM state")
+		t.Fatal("full Eval with changed output must invalidate IVM state")
 	}
-	// Mutate the EDB outside EvalDelta, then let the next call re-init.
-	db.Insert(datalog.Pred("r"), value.Tuple{value.Int(3)})
+	// The next EvalDelta re-initializes against the current EDB.
 	if _, err := ev.EvalDelta(db, nil); err != nil {
 		t.Fatal(err)
 	}
 	want := value.RelationOf(1, value.Tuple{value.Int(1)}, value.Tuple{value.Int(3)})
 	if got := db.Rel(datalog.Pred("d")); !got.Equal(want) {
 		t.Fatalf("d = %v, want %v", got, want)
+	}
+	if !ev.IVMReady(db) {
+		t.Fatal("expected IVM state after re-init")
 	}
 }
 

@@ -88,8 +88,12 @@ func (cr *compiledRule) outerWeight(db *Database) int {
 }
 
 // evalParallel evaluates the (included) IDB predicates level by level with
-// up to e.parallelism workers per level.
-func (e *Evaluator) evalParallel(db *Database, include map[datalog.PredSym]bool) error {
+// up to e.parallelism workers per level. A non-nil ec selects streaming
+// execution: the serial prepare phase picks each rule's cheapest driver
+// variant and builds its ephemeral probe tables (shared through ec), and
+// the variant's outer driver scan is what fans out across hash shards —
+// a worker owns one shard-rooted pipeline and merges after the barrier.
+func (e *Evaluator) evalParallel(db *Database, ec *evalCtx, include map[datalog.PredSym]bool) error {
 	p := e.parallelism
 	for _, level := range e.levels {
 		syms := level
@@ -116,27 +120,33 @@ func (e *Evaluator) evalParallel(db *Database, include map[datalog.PredSym]bool)
 		}
 		if weight < parallelMinWork {
 			for _, sym := range syms {
-				if err := e.evalPredSequential(db, sym); err != nil {
+				var err error
+				if ec != nil {
+					err = e.evalPredStreaming(db, ec, sym)
+				} else {
+					err = e.evalPredSequential(db, sym)
+				}
+				if err != nil {
 					return err
 				}
 			}
 			continue
 		}
 
-		// Serial prepare: resolve every relation and index the level's
-		// rules touch, so the parallel phase is a pure read of db.
+		// Serial prepare: resolve every relation and probe structure the
+		// level's rules touch, so the parallel phase is a pure read of db.
 		var tasks []parallelTask
 		partials := make([][]*value.Relation, len(syms))
 		for si, sym := range syms {
 			arity := e.arities[sym]
 			for _, cr := range e.rules[sym] {
-				rc := cr.prepare(db)
-				shardStep, nshards := cr.shardPlan(rc, p)
+				plan, rc := cr.preparePlan(db, ec)
+				shardStep, nshards := plan.shardPlan(rc, p)
 				for s := 0; s < nshards; s++ {
 					partial := value.NewRelation(arity)
 					partials[si] = append(partials[si], partial)
 					tasks = append(tasks, parallelTask{
-						cr: cr, rc: rc, out: partial,
+						cr: plan, rc: rc, out: partial,
 						shardStep: shardStep, shard: s, nshards: nshards,
 					})
 				}
@@ -186,8 +196,21 @@ func (e *Evaluator) evalParallel(db *Database, include map[datalog.PredSym]bool)
 					out.UnionWith(partial)
 				}
 			}
-			db.Update(sym, out)
+			e.installEval(db, sym, out)
 		}
 	}
 	return nil
+}
+
+// preparePlan resolves one rule for a parallel run: in streaming mode (ec
+// non-nil) the cheapest driver variant with its ephemeral tables, in
+// materialized mode the primary plan with its maintained indexes. The
+// returned plan is what tasks must execute (variants have their own
+// variable numbering).
+func (cr *compiledRule) preparePlan(db *Database, ec *evalCtx) (*compiledRule, *runCtx) {
+	if ec != nil {
+		v := cr.pickVariant(db)
+		return v, v.prepareStream(db, ec)
+	}
+	return cr, cr.prepare(db)
 }

@@ -1,0 +1,375 @@
+// Streaming execution for full evaluation: rule plans run as lazy pipelines
+// that stream their largest input and build only small, ephemeral probe
+// tables, instead of registering maintained hash indexes on every probed
+// relation. Three pieces cooperate:
+//
+//   - Driver variants (compileRule): every rule is compiled once per
+//     positive body atom, with that atom forced first as the streamed outer
+//     scan. At evaluation time pickVariant scores each variant by the total
+//     size of the relations its keyed steps would have to hash (relations
+//     already covered by a maintained index cost nothing) and picks the
+//     cheapest — the symmetric-hash-join build-side choice: stream the big
+//     relation, hash the small ones.
+//
+//   - Ephemeral tables (joinTable, existTable): the probe structures built
+//     for one evaluation. A joinTable is a compact chained hash table —
+//     one flat tuple slice, one int32 chain, one hash→head map — several
+//     times smaller than the Database's maintained hashIndex (which keeps a
+//     per-distinct-key group with its own slice). An existTable keeps only
+//     one representative tuple per distinct key projection: all a negated
+//     atom's existence probe needs, O(distinct keys) instead of O(tuples).
+//     Neither is registered on the Database; both die with the evaluation.
+//
+//   - The per-evaluation cache (evalCtx): tables are keyed by (relation
+//     pointer, key positions), so two rules probing the same relation the
+//     same way share one table, and a relation replaced by db.Update (new
+//     pointer) can never be observed through a stale table.
+//
+// Maintained indexes that already exist are still used — as pure reads,
+// without marking them hot, so the streaming path never causes the Database
+// to build or keep an index. Only stratum outputs (the IDB relations
+// installed after each predicate's fixpoint, and the counted-IVM support
+// state) are materialized; everything between a scan and a head emit is a
+// tuple at a time. The steady-state EvalDelta path is untouched: it keeps
+// its lazy Database probes and its allocation profile.
+package eval
+
+import (
+	"birds/internal/datalog"
+	"birds/internal/value"
+)
+
+// ExecMode selects how Eval (and the counted-IVM initialization) executes
+// compiled plans. The zero value is ExecStreaming.
+type ExecMode uint8
+
+const (
+	// ExecStreaming (the default) streams each rule's chosen driver
+	// relation and probes ephemeral per-evaluation tables built on the
+	// smaller inputs.
+	ExecStreaming ExecMode = iota
+	// ExecMaterialized is the pre-streaming behavior: plans keep their
+	// compile-time join order and probe maintained hash indexes built (and
+	// registered) on the Database. Kept as the differential-test oracle and
+	// as an escape hatch.
+	ExecMaterialized
+)
+
+func (m ExecMode) String() string {
+	if m == ExecMaterialized {
+		return "materialized"
+	}
+	return "streaming"
+}
+
+// SetExecMode selects the execution mode for full evaluations. It must not
+// be called concurrently with Eval.
+func (e *Evaluator) SetExecMode(m ExecMode) { e.mode = m }
+
+// ExecModeOf reports the configured execution mode.
+func (e *Evaluator) ExecModeOf() ExecMode { return e.mode }
+
+// --- ephemeral probe tables -------------------------------------------
+
+// joinTable is a compact chained hash table over one relation's projection
+// onto key positions, built for one evaluation and discarded. Layout: all
+// tuples in one flat slice, a parallel int32 chain linking tuples that share
+// a key hash, and a map from key hash to chain head. Compared to the
+// maintained hashIndex it has no per-key group structs and no per-key tuple
+// slices — a fraction of the heap per tuple — at the cost of re-checking
+// the key projection while walking a chain (hash collisions are rare).
+type joinTable struct {
+	positions []int
+	heads     map[uint64]int32
+	next      []int32
+	tuples    []value.Tuple
+}
+
+// buildJoinTable hashes every tuple of rel on positions. Chains are int32;
+// relations at the 2³¹-tuple scale must use a maintained index instead
+// (prepareStream guards this).
+func buildJoinTable(rel *value.Relation, positions []int) *joinTable {
+	n := rel.Len()
+	jt := &joinTable{
+		positions: positions,
+		heads:     make(map[uint64]int32, n),
+		next:      make([]int32, 0, n),
+		tuples:    make([]value.Tuple, 0, n),
+	}
+	for t := range rel.All() {
+		h := value.HashSeed
+		for _, p := range positions {
+			h = value.HashMix(h, t[p])
+		}
+		i := int32(len(jt.tuples))
+		jt.tuples = append(jt.tuples, t)
+		prev, ok := jt.heads[h]
+		if !ok {
+			prev = -1
+		}
+		jt.next = append(jt.next, prev)
+		jt.heads[h] = i
+	}
+	return jt
+}
+
+// tabCursor walks the chain of tuples matching one probe key. It is a value
+// type so a per-outer-tuple probe allocates nothing.
+type tabCursor struct {
+	jt  *joinTable
+	i   int32
+	key value.Tuple
+}
+
+// cursor starts a probe for key (the projection values, in positions order).
+func (jt *joinTable) cursor(key value.Tuple) tabCursor {
+	h := value.HashSeed
+	for _, v := range key {
+		h = value.HashMix(h, v)
+	}
+	i, ok := jt.heads[h]
+	if !ok {
+		i = -1
+	}
+	return tabCursor{jt: jt, i: i, key: key}
+}
+
+// next returns the next tuple whose projection equals the probe key.
+func (c *tabCursor) next() (value.Tuple, bool) {
+	for c.i >= 0 {
+		t := c.jt.tuples[c.i]
+		c.i = c.jt.next[c.i]
+		if projMatches(t, c.jt.positions, c.key) {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// hasMatch reports whether any tuple matches the probe key.
+func (jt *joinTable) hasMatch(key value.Tuple) bool {
+	c := jt.cursor(key)
+	_, ok := c.next()
+	return ok
+}
+
+// existTable answers existence probes (negated atoms) with one
+// representative tuple per distinct key projection — O(distinct keys)
+// heap, however many tuples share a key.
+type existTable struct {
+	positions []int
+	buckets   map[uint64][]value.Tuple // one representative per distinct projection
+}
+
+func buildExistTable(rel *value.Relation, positions []int) *existTable {
+	et := &existTable{positions: positions, buckets: make(map[uint64][]value.Tuple)}
+	for t := range rel.All() {
+		h := value.HashSeed
+		for _, p := range positions {
+			h = value.HashMix(h, t[p])
+		}
+		reps := et.buckets[h]
+		seen := false
+		for _, r := range reps {
+			if projEqual(r, t, positions) {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			et.buckets[h] = append(reps, t)
+		}
+	}
+	return et
+}
+
+// has reports whether any tuple's projection equals key.
+func (et *existTable) has(key value.Tuple) bool {
+	h := value.HashSeed
+	for _, v := range key {
+		h = value.HashMix(h, v)
+	}
+	for _, r := range et.buckets[h] {
+		if projMatches(r, et.positions, key) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- per-evaluation context -------------------------------------------
+
+// tabKey identifies an ephemeral table: the relation (by pointer, so a
+// relation replaced via db.Update can never hit a stale entry) and the key
+// positions rendered as a mask.
+type tabKey struct {
+	rel  *value.Relation
+	mask string
+}
+
+// evalCtx carries the ephemeral probe tables of one full evaluation.
+// Tables are shared across the rules (and parallel-level prepares) of that
+// evaluation and dropped when it returns.
+type evalCtx struct {
+	tables map[tabKey]*joinTable
+	exists map[tabKey]*existTable
+}
+
+func newEvalCtx() *evalCtx {
+	return &evalCtx{
+		tables: make(map[tabKey]*joinTable),
+		exists: make(map[tabKey]*existTable),
+	}
+}
+
+func (ec *evalCtx) joinTab(rel *value.Relation, positions []int) *joinTable {
+	k := tabKey{rel: rel, mask: maskOf(positions)}
+	if jt, ok := ec.tables[k]; ok {
+		return jt
+	}
+	jt := buildJoinTable(rel, positions)
+	ec.tables[k] = jt
+	return jt
+}
+
+func (ec *evalCtx) existTab(rel *value.Relation, positions []int) *existTable {
+	k := tabKey{rel: rel, mask: maskOf(positions)}
+	if et, ok := ec.exists[k]; ok {
+		return et
+	}
+	et := buildExistTable(rel, positions)
+	ec.exists[k] = et
+	return et
+}
+
+// --- variant choice and preparation -----------------------------------
+
+// maxJoinTableLen is the largest relation an ephemeral joinTable will hold
+// (int32 chain links); beyond it prepareStream falls back to a maintained
+// index. Unreachable for in-memory relations in practice.
+const maxJoinTableLen = 1 << 31 - 1
+
+// streamCost scores a plan for streaming execution: the total number of
+// tuples its keyed steps would have to hash into ephemeral tables. A keyed
+// step whose relation already has a maintained index on exactly its key
+// positions costs nothing (the index is reused as a pure read); a full-key
+// negation probes the relation directly and costs nothing. The score
+// deliberately ignores the evalCtx cache so that variant choice depends
+// only on the database state, not on the order rules happened to run in.
+func streamCost(db *Database, plan *compiledRule) int {
+	cost := 0
+	for i := range plan.steps {
+		st := &plan.steps[i]
+		if st.kind == stepBuiltin || len(st.keyPos) == 0 {
+			continue
+		}
+		if st.kind == stepNegAtom && st.fullKey {
+			continue
+		}
+		rel := db.Rel(st.pred)
+		if rel == nil {
+			continue
+		}
+		if db.existingIndex(st.pred, st.keyPos) != nil {
+			continue
+		}
+		cost += rel.Len()
+	}
+	return cost
+}
+
+// pickVariant returns the cheapest driver variant of the rule for the
+// current database (ties break toward the earliest body atom, so the choice
+// is deterministic). Rules without positive atoms keep their compiled plan.
+func (cr *compiledRule) pickVariant(db *Database) *compiledRule {
+	if len(cr.variants) == 0 {
+		return cr
+	}
+	best, bestCost := cr.variants[0], streamCost(db, cr.variants[0])
+	for _, v := range cr.variants[1:] {
+		if c := streamCost(db, v); c < bestCost {
+			best, bestCost = v, c
+		}
+	}
+	return best
+}
+
+// prepareStream resolves the plan's relations and probe structures for one
+// streaming run: maintained indexes that already exist are reused as pure
+// reads (never built, never marked hot); every other keyed step gets an
+// ephemeral table from the evaluation's cache. Like prepare, it does all
+// its work on the calling goroutine, so the returned context is a pure
+// read over db — safe to share across parallel workers.
+func (cr *compiledRule) prepareStream(db *Database, ec *evalCtx) *runCtx {
+	rc := &runCtx{
+		db:   db,
+		rels: make([]*value.Relation, len(cr.steps)),
+		ixs:  make([]*hashIndex, len(cr.steps)),
+		tabs: make([]*joinTable, len(cr.steps)),
+		exts: make([]*existTable, len(cr.steps)),
+	}
+	for i := range cr.steps {
+		st := &cr.steps[i]
+		if st.kind == stepBuiltin {
+			continue
+		}
+		rel := db.Rel(st.pred)
+		rc.rels[i] = rel
+		if rel == nil || len(st.keyPos) == 0 {
+			continue
+		}
+		if ix := db.existingIndex(st.pred, st.keyPos); ix != nil {
+			rc.ixs[i] = ix
+			continue
+		}
+		switch {
+		case st.kind == stepNegAtom:
+			rc.exts[i] = ec.existTab(rel, st.keyPos)
+		case rel.Len() > maxJoinTableLen:
+			rc.ixs[i] = db.Index(st.pred, st.keyPos)
+		default:
+			rc.tabs[i] = ec.joinTab(rel, st.keyPos)
+		}
+	}
+	return rc
+}
+
+// runStreaming executes the rule's cheapest variant over db with ephemeral
+// probe tables, emitting every derived head tuple — the streaming analogue
+// of compiledRule.run.
+func runStreaming(db *Database, ec *evalCtx, cr *compiledRule, emit func(value.Tuple) bool) error {
+	v := cr.pickVariant(db)
+	rc := v.prepareStream(db, ec)
+	en := v.en
+	for i := range en.set {
+		en.set[i] = false
+	}
+	_, err := v.exec(rc, en, 0, emit)
+	return err
+}
+
+// runFull executes one rule for a full evaluation in the mode selected by
+// ec: streaming (non-nil) or the lazy materialized path.
+func runFull(db *Database, ec *evalCtx, cr *compiledRule, emit func(value.Tuple) bool) error {
+	if ec != nil {
+		return runStreaming(db, ec, cr, emit)
+	}
+	return cr.run(db, emit)
+}
+
+// evalPredStreaming evaluates one IDB predicate's rules with the streaming
+// executor and installs the result — the streaming counterpart of
+// evalPredSequential.
+func (e *Evaluator) evalPredStreaming(db *Database, ec *evalCtx, sym datalog.PredSym) error {
+	out := value.NewRelation(e.arities[sym])
+	for _, cr := range e.rules[sym] {
+		if err := runStreaming(db, ec, cr, func(t value.Tuple) bool {
+			out.Add(t)
+			return true
+		}); err != nil {
+			return err
+		}
+	}
+	e.installEval(db, sym, out)
+	return nil
+}
