@@ -35,6 +35,7 @@ import (
 
 	"birds/internal/analysis"
 	"birds/internal/bench"
+	"birds/internal/cdc"
 	"birds/internal/core"
 	"birds/internal/datalog"
 	"birds/internal/engine"
@@ -106,7 +107,34 @@ type (
 	RecoverStats = engine.RecoverStats
 	// SyncMode selects when the write-ahead log is fsynced.
 	SyncMode = wal.SyncMode
+
+	// Subscription is one change-data-capture stream (DB.Subscribe): an
+	// initial snapshot event followed by ordered per-visibility-point net
+	// delta events, with explicit Resync events on loss — never silent
+	// divergence.
+	Subscription = cdc.Subscription
+	// SubOptions configures a subscription's buffer and slow-consumer
+	// policy.
+	SubOptions = cdc.SubOptions
+	// ChangeEvent is one element of a subscription stream.
+	ChangeEvent = cdc.Event
+	// CDCStats aggregates the subscription hub's counters.
+	CDCStats = cdc.HubStats
 )
+
+// Slow-consumer policies for SubOptions.Policy.
+const (
+	// DropAndResync never delays the write path: a lagging subscriber
+	// loses events and receives one explicit Resync.
+	DropAndResync = cdc.DropAndResync
+	// BlockWithDeadline delays the publisher up to SubOptions.BlockDeadline
+	// before falling back to DropAndResync.
+	BlockWithDeadline = cdc.BlockWithDeadline
+)
+
+// ApplyChange folds one subscription event into a client-side mirror
+// relation and returns the new mirror (cdc.ApplyEvent).
+var ApplyChange = cdc.ApplyEvent
 
 // Write-ahead-log fsync modes.
 const (

@@ -48,6 +48,8 @@ func run() error {
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size cap in bytes")
 	maxInflight := flag.Int("max-inflight", server.DefaultMaxInflight,
 		"shed data-plane requests beyond this many in flight with 503 + Retry-After (negative disables shedding)")
+	heartbeat := flag.Duration("heartbeat", server.DefaultHeartbeat,
+		"idle-ping interval of GET /subscribe streams (negative disables pings)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"graceful-shutdown deadline on SIGTERM/SIGINT: in-flight requests get this long before the final flush and checkpoint")
 	durable := flag.String("durable", "",
@@ -72,6 +74,7 @@ func run() error {
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		MaxInflight:    *maxInflight,
+		Heartbeat:      *heartbeat,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -106,6 +109,9 @@ func run() error {
 	// admitted-but-unflushed transaction commits before exit.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	// Subscription streams never end on their own; end them so Shutdown's
+	// wait for in-flight handlers can finish.
+	srv.DisconnectSubscribers()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "birds-serve: shutdown:", err)
 	}

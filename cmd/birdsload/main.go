@@ -16,8 +16,11 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +50,22 @@ type result struct {
 	Admitted      uint64  `json:"admitted"`
 	CoalescedRows uint64  `json:"coalesced_rows"`
 	TxnsPerFlush  float64 `json:"txns_per_flush"`
+
+	// CDC delta-latency measurement (-subscribe N): N concurrent
+	// GET /subscribe/luxury streams record when each inserted row's delta
+	// event arrives. Delivery latency is arrival minus the write's ack
+	// (the CDC fan-out cost on top of commit — the headline number);
+	// end-to-end latency is arrival minus the write's POST start (what a
+	// dashboard behind the stream actually waits after the client acts).
+	Subscribers   int     `json:"subscribers,omitempty"`
+	DeltaSamples  int     `json:"delta_samples,omitempty"`
+	DeliveryP50us float64 `json:"delivery_p50_us,omitempty"`
+	DeliveryP95us float64 `json:"delivery_p95_us,omitempty"`
+	DeliveryP99us float64 `json:"delivery_p99_us,omitempty"`
+	E2EP50us      float64 `json:"e2e_p50_us,omitempty"`
+	E2EP95us      float64 `json:"e2e_p95_us,omitempty"`
+	E2EP99us      float64 `json:"e2e_p99_us,omitempty"`
+	SubResyncs    int     `json:"sub_resyncs,omitempty"`
 }
 
 func main() {
@@ -62,6 +81,9 @@ func run() error {
 	writes := flag.Int("writes", 500, "acknowledged write transactions per session")
 	setup := flag.Bool("setup", false, "create the items table and luxury view fixture first (idempotent only on a fresh server)")
 	retries := flag.Int("max-retries", 5, "retry budget per write for transient failures (connection errors, 503 shed/overload)")
+	subscribe := flag.Int("subscribe", 0,
+		"open this many GET /subscribe/luxury CDC streams during each sweep and report delta-latency percentiles")
+	subBuffer := flag.Int("subscribe-buffer", 1024, "per-stream subscription buffer in events")
 	jsonOut := flag.String("json", "", "write the results array to this file")
 	label := flag.String("label", "", "label recorded with each result (e.g. batched/unbatched)")
 	flag.Parse()
@@ -88,7 +110,7 @@ func run() error {
 	var results []any
 	idBase := 1_000_000 // keep sweep points in disjoint id ranges
 	for _, n := range levels {
-		res, err := sweep(base, n, *writes, idBase, *retries)
+		res, err := sweep(base, n, *writes, idBase, *retries, *subscribe, *subBuffer)
 		if err != nil {
 			return err
 		}
@@ -115,9 +137,135 @@ func run() error {
 	return nil
 }
 
+// deltaTracker correlates write acknowledgments with CDC event arrivals
+// across the load goroutines and every subscriber stream. An inserted id
+// yields one (delivery, e2e) sample per subscriber that sees it; event
+// arrivals racing ahead of the ack response (common — the hub publishes
+// under the same lock that flushes the batch) park in pending until the
+// ack lands and then clamp to zero delivery latency.
+type deltaTracker struct {
+	mu       sync.Mutex
+	start    map[int]time.Time   // POST start per inserted id
+	ack      map[int]time.Time   // ack time per inserted id
+	pending  map[int][]time.Time // event arrivals seen before the ack
+	delivery []time.Duration
+	e2e      []time.Duration
+	resyncs  int
+}
+
+func newDeltaTracker() *deltaTracker {
+	return &deltaTracker{
+		start:   make(map[int]time.Time),
+		ack:     make(map[int]time.Time),
+		pending: make(map[int][]time.Time),
+	}
+}
+
+func (t *deltaTracker) preWrite(id int, at time.Time) {
+	t.mu.Lock()
+	t.start[id] = at
+	t.mu.Unlock()
+}
+
+func (t *deltaTracker) sampleLocked(id int, arrival time.Time) {
+	d := arrival.Sub(t.ack[id])
+	if d < 0 {
+		d = 0
+	}
+	t.delivery = append(t.delivery, d)
+	t.e2e = append(t.e2e, arrival.Sub(t.start[id]))
+}
+
+func (t *deltaTracker) acked(id int, at time.Time) {
+	t.mu.Lock()
+	t.ack[id] = at
+	for _, arrival := range t.pending[id] {
+		t.sampleLocked(id, arrival)
+	}
+	delete(t.pending, id)
+	t.mu.Unlock()
+}
+
+func (t *deltaTracker) arrived(id int, at time.Time) {
+	t.mu.Lock()
+	if _, ok := t.start[id]; !ok { // not one of ours (another sweep level)
+		t.mu.Unlock()
+		return
+	}
+	if _, ok := t.ack[id]; ok {
+		t.sampleLocked(id, at)
+	} else {
+		t.pending[id] = append(t.pending[id], at)
+	}
+	t.mu.Unlock()
+}
+
+func (t *deltaTracker) samples() (delivery, e2e []time.Duration, resyncs int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]time.Duration(nil), t.delivery...), append([]time.Duration(nil), t.e2e...), t.resyncs
+}
+
+// subscriber tails /subscribe/luxury and feeds insert-row arrival times
+// into the tracker. It returns when ctx is canceled or the stream ends.
+func subscriber(ctx context.Context, base string, buffer int, tr *deltaTracker, ready *sync.WaitGroup) error {
+	live := false
+	markLive := func() {
+		if !live {
+			live = true
+			ready.Done()
+		}
+	}
+	defer markLive() // never leave the sweep waiting on a failed stream
+	url := fmt.Sprintf("%s/subscribe/luxury?buffer=%d&policy=drop", base, buffer)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{} // dedicated connection: streams must not share the writers' pool
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("subscribe: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		var ev struct {
+			Type   string  `json:"type"`
+			Insert [][]any `json:"insert"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return err
+		}
+		markLive() // the snapshot line arrived: the stream is live
+		switch ev.Type {
+		case "delta":
+			now := time.Now()
+			for _, row := range ev.Insert {
+				if len(row) == 0 {
+					continue
+				}
+				if id, ok := row[0].(float64); ok {
+					tr.arrived(int(id), now)
+				}
+			}
+		case "resync":
+			tr.mu.Lock()
+			tr.resyncs++
+			tr.mu.Unlock()
+		}
+	}
+	return sc.Err()
+}
+
 // sweep runs one concurrency level: n sessions, each issuing `writes`
-// acknowledged transactions into a private id range.
-func sweep(base string, n, writes, idBase, maxRetries int) (result, error) {
+// acknowledged transactions into a private id range; with nSubs > 0,
+// nSubs CDC streams measure delta latency alongside.
+func sweep(base string, n, writes, idBase, maxRetries, nSubs, subBuffer int) (result, error) {
 	// One pooled connection per session: the default transport keeps only
 	// two idle connections per host, which would turn a 64-session sweep
 	// into a TCP re-dial storm and measure the dialer instead of the
@@ -129,6 +277,28 @@ func sweep(base string, n, writes, idBase, maxRetries int) (result, error) {
 	bs, err := batcherStats(base)
 	if err != nil {
 		return result{}, err
+	}
+
+	// Open the CDC streams first and wait until every one has its
+	// snapshot: a stream that connects mid-run would miss early deltas
+	// and skew the latency tail.
+	var tr *deltaTracker
+	subCtx, subCancel := context.WithCancel(context.Background())
+	defer subCancel()
+	var subWG sync.WaitGroup
+	subErrs := make([]error, nSubs)
+	if nSubs > 0 {
+		tr = newDeltaTracker()
+		var ready sync.WaitGroup
+		ready.Add(nSubs)
+		for i := 0; i < nSubs; i++ {
+			subWG.Add(1)
+			go func(i int) {
+				defer subWG.Done()
+				subErrs[i] = subscriber(subCtx, base, subBuffer, tr, &ready)
+			}(i)
+		}
+		ready.Wait()
 	}
 
 	lat := make([][]time.Duration, n)
@@ -161,6 +331,9 @@ func sweep(base string, n, writes, idBase, maxRetries int) (result, error) {
 				// under shedding the client-observed commit latency is what a
 				// real session would see.
 				t0 := time.Now()
+				if tr != nil {
+					tr.preWrite(id, t0)
+				}
 				r, s, err := execRetry(client, base+"/exec",
 					map[string]any{"stmts": stmts, "session": sess}, maxRetries, rng)
 				retryCounts[w] += r
@@ -169,12 +342,30 @@ func sweep(base string, n, writes, idBase, maxRetries int) (result, error) {
 					errCounts[w]++
 					continue
 				}
+				if tr != nil {
+					tr.acked(id, time.Now())
+				}
 				lat[w] = append(lat[w], time.Since(t0))
 			}
 		}(w)
 	}
 	wg.Wait()
 	wall := time.Since(start)
+
+	// Let in-flight delta events drain to the streams: stop once the
+	// sample count goes quiet (or after a hard cap).
+	if tr != nil {
+		last, lastChange := -1, time.Now()
+		for time.Since(lastChange) < 300*time.Millisecond && time.Since(start) < wall+5*time.Second {
+			d, _, _ := tr.samples()
+			if len(d) != last {
+				last, lastChange = len(d), time.Now()
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		subCancel()
+		subWG.Wait()
+	}
 
 	after, err := batcherStats(base)
 	if err != nil {
@@ -210,6 +401,29 @@ func sweep(base string, n, writes, idBase, maxRetries int) (result, error) {
 	}
 	if res.Flushes > 0 {
 		res.TxnsPerFlush = float64(res.Admitted) / float64(res.Flushes)
+	}
+	if tr != nil {
+		delivery, e2e, resyncs := tr.samples()
+		sort.Slice(delivery, func(i, j int) bool { return delivery[i] < delivery[j] })
+		sort.Slice(e2e, func(i, j int) bool { return e2e[i] < e2e[j] })
+		res.Subscribers = nSubs
+		res.DeltaSamples = len(delivery)
+		res.SubResyncs = resyncs
+		if len(delivery) > 0 {
+			res.DeliveryP50us = float64(pct(delivery, 0.50).Microseconds())
+			res.DeliveryP95us = float64(pct(delivery, 0.95).Microseconds())
+			res.DeliveryP99us = float64(pct(delivery, 0.99).Microseconds())
+			res.E2EP50us = float64(pct(e2e, 0.50).Microseconds())
+			res.E2EP95us = float64(pct(e2e, 0.95).Microseconds())
+			res.E2EP99us = float64(pct(e2e, 0.99).Microseconds())
+		}
+		for _, err := range subErrs {
+			if err != nil && !errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "birdsload: subscriber:", err)
+			}
+		}
+		fmt.Printf("  cdc: subscribers=%d samples=%d delivery p50=%.0fµs p95=%.0fµs p99=%.0fµs  e2e p50=%.0fµs  resyncs=%d\n",
+			nSubs, res.DeltaSamples, res.DeliveryP50us, res.DeliveryP95us, res.DeliveryP99us, res.E2EP50us, resyncs)
 	}
 	return res, nil
 }

@@ -1,0 +1,217 @@
+package cdc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"birds/internal/value"
+)
+
+// Hub fans per-relation deltas out to subscriptions. The engine owns the
+// hub and calls Subscribe, Publish and MarkAllLost under its write lock,
+// which is what serializes publishers and makes the sequence number a
+// total order identical to commit order. Consumers (Recv, Close, Stats)
+// synchronize only on hub and subscription mutexes, never on the engine
+// lock — except the resync pull, which re-enters the engine through the
+// closure the engine installed at Subscribe time.
+//
+// Lock order: engine lock → Hub.mu → Subscription.mu. Events are handed
+// to subscriptions outside Hub.mu, so a publisher delayed by a
+// BlockWithDeadline subscriber never holds the hub lock.
+type Hub struct {
+	mu   sync.RWMutex
+	subs map[string][]*Subscription
+	seq  uint64 // advances once per Publish call (= per visibility point)
+
+	published uint64 // Publish calls that carried at least one update or loss
+	// Counters of closed subscriptions, folded in by remove so hub totals
+	// are monotonic across subscriber churn.
+	retiredDelivered uint64
+	retiredDropped   uint64
+	retiredResyncs   uint64
+
+	// active mirrors the live subscription count so the engine's publish
+	// hook can skip all work without taking any lock.
+	active atomic.Int64
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[string][]*Subscription)}
+}
+
+// Quiet reports whether the hub has no live subscriptions. Lock-free; the
+// engine's publish hook uses it to keep the zero-subscriber write path
+// allocation-free.
+func (h *Hub) Quiet() bool { return h.active.Load() == 0 }
+
+// Seq returns the current sequence number — the seq of the most recent
+// visibility point that published anything.
+func (h *Hub) Seq() uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.seq
+}
+
+// Subscribed reports whether any live subscription watches the relation.
+func (h *Hub) Subscribed(view string) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.subs[view]) > 0
+}
+
+// Subscribe registers a subscription whose stream opens with a Resync
+// event carrying snap. Must be called under the engine write lock, with
+// snap taken under that same lock: the snapshot then corresponds exactly
+// to the current sequence number, which is what makes snapshot ⊕ replayed
+// deltas ≡ live view. resnap is the engine-provided resync pull: it must
+// re-acquire the engine lock, produce a fresh snapshot plus its sequence
+// number, and re-arm the subscription (Rearm) before releasing the lock.
+func (h *Hub) Subscribe(view string, snap *value.Relation, opts SubOptions, resnap func() (*value.Relation, uint64, error)) *Subscription {
+	if opts.Buffer <= 0 {
+		opts.Buffer = DefaultBuffer
+	}
+	if opts.BlockDeadline <= 0 {
+		opts.BlockDeadline = DefaultBlockDeadline
+	}
+	s := &Subscription{
+		hub:    h,
+		view:   view,
+		opts:   opts,
+		resnap: resnap,
+		ring:   make([]Event, opts.Buffer),
+		notify: make(chan struct{}, 1),
+		space:  make(chan struct{}, 1),
+	}
+	h.mu.Lock()
+	seq := h.seq
+	s.ring[0] = Event{Seq: seq, View: view, Resync: true, Snapshot: snap}
+	s.count = 1
+	s.lastEnq, s.lastDeq = seq, seq
+	h.subs[view] = append(h.subs[view], s)
+	h.mu.Unlock()
+	h.active.Add(1)
+	return s
+}
+
+// delivery pairs an event with its target, collected under Hub.mu and
+// delivered outside it.
+type delivery struct {
+	sub *Subscription
+	ev  Event
+}
+
+// Publish records one visibility point: every update is offered to the
+// relation's subscribers under a single new sequence number, and every
+// subscription of a relation in lost (a view the engine could only mark
+// dirty — no delta exists) is marked lost so its consumer resyncs. Must
+// run under the engine write lock; callers should skip the call entirely
+// when Quiet() (and may skip updates for relations not Subscribed).
+func (h *Hub) Publish(updates []Update, lost []string) {
+	if len(updates) == 0 && len(lost) == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.seq++
+	seq := h.seq
+	h.published++
+	var dels []delivery
+	for _, u := range updates {
+		subs := h.subs[u.View]
+		if len(subs) == 0 {
+			continue
+		}
+		ev := Event{Seq: seq, View: u.View, Inserts: u.Inserts, Deletes: u.Deletes}
+		for _, s := range subs {
+			dels = append(dels, delivery{s, ev})
+		}
+	}
+	var lostSubs []*Subscription
+	for _, name := range lost {
+		lostSubs = append(lostSubs, h.subs[name]...)
+	}
+	h.mu.Unlock()
+	for _, d := range dels {
+		d.sub.offer(d.ev)
+	}
+	for _, s := range lostSubs {
+		s.markLost(seq)
+	}
+}
+
+// MarkAllLost marks every live subscription lost — used when the engine
+// state is replaced wholesale (Reopen after degraded mode), where no delta
+// relates the old state to the new. Every consumer then resyncs against
+// the recovered state. Must run under the engine write lock.
+func (h *Hub) MarkAllLost() {
+	h.mu.Lock()
+	seq := h.seq
+	var all []*Subscription
+	for _, subs := range h.subs {
+		all = append(all, subs...)
+	}
+	h.mu.Unlock()
+	for _, s := range all {
+		s.markLost(seq)
+	}
+}
+
+// remove unregisters a closed subscription and folds its counters into
+// the hub's retired totals.
+func (h *Hub) remove(sub *Subscription) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	subs := h.subs[sub.view]
+	for i, s := range subs {
+		if s == sub {
+			h.subs[sub.view] = append(subs[:i], subs[i+1:]...)
+			if len(h.subs[sub.view]) == 0 {
+				delete(h.subs, sub.view)
+			}
+			st := sub.Stats()
+			h.retiredDelivered += st.Delivered
+			h.retiredDropped += st.Dropped
+			h.retiredResyncs += st.Resyncs
+			h.active.Add(-1)
+			return
+		}
+	}
+}
+
+// HubStats is a point-in-time aggregate over the hub and its live
+// subscriptions (plus totals of already-closed ones).
+type HubStats struct {
+	Subscribers int    `json:"subscribers"`
+	Seq         uint64 `json:"seq"`
+	Published   uint64 `json:"published"`
+	Delivered   uint64 `json:"delivered"`
+	Dropped     uint64 `json:"dropped"`
+	Resyncs     uint64 `json:"resyncs"`
+	MaxLagSeqs  uint64 `json:"max_lag_seqs"`
+}
+
+// Stats aggregates hub counters.
+func (h *Hub) Stats() HubStats {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	st := HubStats{
+		Seq:       h.seq,
+		Published: h.published,
+		Delivered: h.retiredDelivered,
+		Dropped:   h.retiredDropped,
+		Resyncs:   h.retiredResyncs,
+	}
+	for _, subs := range h.subs {
+		for _, s := range subs {
+			ss := s.Stats()
+			st.Subscribers++
+			st.Delivered += ss.Delivered
+			st.Dropped += ss.Dropped
+			st.Resyncs += ss.Resyncs
+			if ss.LagSeqs > st.MaxLagSeqs {
+				st.MaxLagSeqs = ss.LagSeqs
+			}
+		}
+	}
+	return st
+}

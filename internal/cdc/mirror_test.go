@@ -1,0 +1,417 @@
+package cdc_test
+
+// The differential mirror harness: N subscribers race a mix of direct
+// transactions, group-commit batches, view-targeted writes, and bulk
+// loads, each folding its event stream into a client-side mirror. The
+// invariant under test is the delivery contract itself — snapshot ⊕
+// replayed deltas ≡ the live relation at every event's sequence number,
+// including across forced drop-and-resync — checked two ways:
+//
+//   - online, against engine snapshots: a sampler thread calls
+//     db.SnapshotAt and each subscriber compares XOR-of-row-hash
+//     fingerprints whenever its stream reaches the sampled seq exactly;
+//   - at quiesce, bit-identical: after writers stop and streams drain,
+//     every mirror must Equal db.Get(view).
+//
+// Tunables (for CI sweeps): BIRDS_CDC_TRIALS, BIRDS_CDC_SEED,
+// BIRDS_CDC_WRITES.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"birds/internal/cdc"
+	"birds/internal/datalog"
+	"birds/internal/engine"
+	"birds/internal/value"
+)
+
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// mirrorDB builds the same schema as the engine package's maintenance
+// fixture through the public API: tables r1(a,b), r2(b,c), a join view j,
+// and a negation view lonely.
+func mirrorDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.NewDB()
+	for _, d := range []string{"source r1(a:int, b:int).", "source r2(b:int, c:int)."} {
+		p, err := datalog.Parse(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CreateTable(p.Sources[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	create := func(program, get string) {
+		t.Helper()
+		var rules []*datalog.Rule
+		for _, line := range strings.Split(get, "\n") {
+			if line = strings.TrimSpace(line); line == "" {
+				continue
+			}
+			r, err := datalog.ParseRule(line)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rules = append(rules, r)
+		}
+		if _, err := db.CreateView(program, engine.ViewOptions{SkipValidation: true, ExpectedGet: rules}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	create(`
+source r1(a:int, b:int).
+source r2(b:int, c:int).
+view j(a:int, c:int).
+-r1(A,B) :- r1(A,B), not jkeep(A).
+jkeep(A) :- j(A,_).
+`, "j(A,C) :- r1(A,B), r2(B,C).")
+	create(`
+source r1(a:int, b:int).
+source r2(b:int, c:int).
+view lonely(a:int).
+-r1(A,B) :- r1(A,B), not lonely(A).
+`, "lonely(A) :- r1(A,B), not r2(B,_).")
+	return db
+}
+
+// fingerprint is the XOR of all row hashes — order-independent, O(1) to
+// maintain incrementally, and collision-resistant enough to catch a
+// diverged mirror within a trial.
+func fingerprint(r *value.Relation) uint64 {
+	var fp uint64
+	for _, t := range r.Tuples() {
+		fp ^= t.Hash()
+	}
+	return fp
+}
+
+// sample is one engine-side observation: relation state (as fingerprint)
+// at an exact hub sequence number.
+type sample struct {
+	view string
+	seq  uint64
+	fp   uint64
+	rows int
+}
+
+// mirrorState is one subscriber's client-side replica.
+type mirrorState struct {
+	rel     *value.Relation
+	fp      uint64
+	seq     uint64
+	resyncs int
+	events  int
+}
+
+func (m *mirrorState) apply(ev cdc.Event) {
+	m.rel = cdc.ApplyEvent(m.rel, ev)
+	if ev.Resync {
+		m.fp = fingerprint(m.rel)
+		m.resyncs++
+	} else {
+		for _, t := range ev.Deletes {
+			m.fp ^= t.Hash()
+		}
+		for _, t := range ev.Inserts {
+			m.fp ^= t.Hash()
+		}
+	}
+	m.seq = ev.Seq
+	m.events++
+}
+
+func TestDifferentialMirror(t *testing.T) {
+	trials := envInt("BIRDS_CDC_TRIALS", 3)
+	seed := int64(envInt("BIRDS_CDC_SEED", 1))
+	writes := envInt("BIRDS_CDC_WRITES", 400)
+	if testing.Short() {
+		trials, writes = 1, 120
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			runMirrorTrial(t, seed+int64(trial), writes)
+		})
+	}
+}
+
+func runMirrorTrial(t *testing.T, seed int64, writes int) {
+	db := mirrorDB(t)
+	views := []string{"r1", "j", "lonely"}
+
+	// Subscriber set: healthy big-buffer subscribers on every relation,
+	// plus deliberately tiny buffers (forced drop-and-resync) and a
+	// block-policy subscriber with a short deadline.
+	type subCfg struct {
+		view string
+		opts cdc.SubOptions
+		slow time.Duration // artificial per-event consumer delay, to force loss
+	}
+	cfgs := []subCfg{
+		{view: "r1", opts: cdc.SubOptions{Buffer: 4096}},
+		{view: "j", opts: cdc.SubOptions{Buffer: 4096}},
+		{view: "lonely", opts: cdc.SubOptions{Buffer: 4096}},
+		// Deliberately slow consumers on tiny buffers: guaranteed to fall
+		// behind while the writers are pumping, guaranteed to catch up
+		// (via resync) once they stop.
+		{view: "j", opts: cdc.SubOptions{Buffer: 2}, slow: 2 * time.Millisecond},
+		{view: "r1", opts: cdc.SubOptions{Buffer: 4, Policy: cdc.BlockWithDeadline, BlockDeadline: time.Millisecond}, slow: 2 * time.Millisecond},
+		{view: "lonely", opts: cdc.SubOptions{Buffer: 3}, slow: time.Millisecond},
+	}
+
+	subs := make([]*cdc.Subscription, len(cfgs))
+	for i, c := range cfgs {
+		sub, err := db.Subscribe(c.view, c.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = sub
+		defer sub.Close()
+	}
+
+	// Engine-side sampler: a stream of (view, seq, fingerprint) ground
+	// truths taken under the engine lock. Subscribers whose stream passes
+	// through seq exactly (same seq, no interposed resync unknowable gap)
+	// must match.
+	samplesMu := sync.Mutex{}
+	samples := make(map[string][]sample) // view -> ordered by seq
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		for ctx.Err() == nil {
+			for _, v := range views {
+				rel, seq, err := db.SnapshotAt(v)
+				if err != nil {
+					continue // transient: concurrent DDL never happens here, but stay robust
+				}
+				s := sample{view: v, seq: seq, fp: fingerprint(rel), rows: rel.Len()}
+				samplesMu.Lock()
+				samples[v] = append(samples[v], s)
+				samplesMu.Unlock()
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Consumers: fold events into mirrors; whenever the mirror sits
+	// exactly at a sampled seq, fingerprints must agree. Samples are
+	// appended in seq order and mirror seqs are monotone, so each consumer
+	// keeps a position pointer instead of rescanning.
+	var consumerWG sync.WaitGroup
+	errCh := make(chan error, len(subs))
+	mirrors := make([]*mirrorState, len(subs))
+	for i, sub := range subs {
+		i, sub := i, sub
+		consumerWG.Add(1)
+		go func() {
+			defer consumerWG.Done()
+			m := &mirrorState{}
+			mirrors[i] = m
+			pos := 0
+			for {
+				rctx, rcancel := context.WithTimeout(ctx, 10*time.Second)
+				ev, err := sub.Recv(rctx)
+				rcancel()
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					errCh <- fmt.Errorf("sub %d (%s): %v", i, cfgs[i].view, err)
+					return
+				}
+				if d := cfgs[i].slow; d > 0 && ctx.Err() == nil {
+					time.Sleep(d)
+				}
+				m.apply(ev)
+				samplesMu.Lock()
+				vs := samples[cfgs[i].view]
+				for pos < len(vs) && vs[pos].seq < m.seq {
+					pos++
+				}
+				for pos < len(vs) && vs[pos].seq == m.seq {
+					s := vs[pos]
+					if s.fp != m.fp || s.rows != m.rel.Len() {
+						samplesMu.Unlock()
+						errCh <- fmt.Errorf("sub %d (%s) diverged at seq %d: mirror fp=%x rows=%d, engine fp=%x rows=%d",
+							i, cfgs[i].view, m.seq, m.fp, m.rel.Len(), s.fp, s.rows)
+						return
+					}
+					pos++
+				}
+				samplesMu.Unlock()
+			}
+		}()
+	}
+
+	// Writers: one direct, one batched, one view-targeted + bulk loader,
+	// racing over a bounded key space so deletes hit real rows.
+	keyOf := func(r *rand.Rand) int64 { return int64(r.Intn(40)) }
+	var writerWG sync.WaitGroup
+	writerErr := make(chan error, 3)
+	writerWG.Add(3)
+	go func() { // direct transactions on r1/r2
+		defer writerWG.Done()
+		r := rand.New(rand.NewSource(seed * 7))
+		for n := 0; n < writes; n++ {
+			a, b := keyOf(r), keyOf(r)
+			var err error
+			switch r.Intn(3) {
+			case 0:
+				err = db.Exec(engine.Insert("r1", value.Int(a), value.Int(b)))
+			case 1:
+				err = db.Exec(engine.Insert("r2", value.Int(b), value.Int(a)))
+			default:
+				err = db.Exec(engine.Delete("r1", engine.Eq("a", value.Int(a))))
+			}
+			if err != nil {
+				writerErr <- err
+				return
+			}
+		}
+	}()
+	go func() { // group-commit batches
+		defer writerWG.Done()
+		r := rand.New(rand.NewSource(seed * 13))
+		b := db.Batch(engine.BatchOptions{MaxTxns: -1})
+		defer b.Close()
+		for n := 0; n < writes; n++ {
+			var err error
+			if r.Intn(2) == 0 {
+				err = b.Exec(engine.Insert("r1", value.Int(keyOf(r)), value.Int(keyOf(r))))
+			} else {
+				err = b.Exec(engine.Insert("r2", value.Int(keyOf(r)), value.Int(keyOf(r))))
+			}
+			if err != nil {
+				writerErr <- err
+				return
+			}
+			if n%7 == 6 {
+				if err := b.Flush(); err != nil {
+					writerErr <- err
+					return
+				}
+			}
+		}
+		if err := b.Flush(); err != nil {
+			writerErr <- err
+		}
+	}()
+	go func() { // view-targeted deletes + bulk loads (the fallback paths)
+		defer writerWG.Done()
+		r := rand.New(rand.NewSource(seed * 29))
+		for n := 0; n < writes/10; n++ {
+			var err error
+			if r.Intn(2) == 0 {
+				err = db.Exec(engine.Delete("j", engine.Eq("a", value.Int(keyOf(r)))))
+			} else {
+				rows := make([]value.Tuple, 0, 3)
+				for k := 0; k < 3; k++ {
+					rows = append(rows, value.Tuple{value.Int(keyOf(r)), value.Int(keyOf(r))})
+				}
+				err = db.LoadTable("r1", rows)
+			}
+			if err != nil {
+				writerErr <- err
+				return
+			}
+			time.Sleep(time.Duration(r.Intn(3)) * time.Millisecond)
+		}
+	}()
+	writerWG.Wait()
+	close(writerErr)
+	for err := range writerErr {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// Quiesce: stop sampling, give every stream time to drain to the
+	// final seq, then compare each mirror bit-identically to the live
+	// relation. The consumers are still running; poll their subscriptions'
+	// lag until all report caught-up (or resync pending).
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		caughtUp := true
+		for _, sub := range subs {
+			st := sub.Stats()
+			if st.LagSeqs != 0 || st.Buffered != 0 || st.Lost {
+				caughtUp = false
+				break
+			}
+		}
+		if caughtUp {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i, sub := range subs {
+				t.Logf("sub %d (%s): %+v", i, cfgs[i].view, sub.Stats())
+			}
+			t.Fatal("streams did not quiesce")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	consumerWG.Wait()
+	samplerWG.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// The tiny-buffer subscribers must actually have exercised the loss
+	// path, else the trial proved less than it claims.
+	for i, sub := range subs {
+		st := sub.Stats()
+		if i >= 3 && st.Resyncs == 0 {
+			t.Errorf("sub %d (%s, buffer %d) never resynced — the loss path was not exercised",
+				i, cfgs[i].view, cfgs[i].opts.Buffer)
+		}
+	}
+
+	// Quiesced, drained, stopped: every mirror must now be bit-identical
+	// to the live relation.
+	live := make(map[string]*value.Relation)
+	for _, v := range views {
+		rel, err := db.Get(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live[v] = rel
+	}
+	for i, m := range mirrors {
+		if m == nil || m.events == 0 {
+			t.Errorf("sub %d (%s) consumed nothing", i, cfgs[i].view)
+			continue
+		}
+		if !m.rel.Equal(live[cfgs[i].view]) {
+			t.Errorf("sub %d (%s): final mirror (%d rows) != live relation (%d rows) after %d events, %d resyncs",
+				i, cfgs[i].view, m.rel.Len(), live[cfgs[i].view].Len(), m.events, m.resyncs)
+		}
+	}
+	if st := db.CDCStats(); st.Published == 0 || st.Resyncs == 0 {
+		t.Errorf("trial exercised nothing: %+v", st)
+	}
+}

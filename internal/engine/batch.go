@@ -526,6 +526,7 @@ func (b *Batcher) flushLocked() error {
 	b.txns = 0
 	if len(changed) > 0 {
 		db.maintainViews(changed, nil)
+		db.publishLocked(changed)
 	}
 	db.autoCheckpointLocked()
 	b.resolveTicketLocked(nil)

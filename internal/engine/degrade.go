@@ -111,6 +111,12 @@ func (db *DB) Reopen() error {
 	db.dur = db2.dur
 	db.ro = nil
 	db.reopening = false
+	// The hub survives the swap (subscriptions are handles into this DB,
+	// not its state), but no delta relates the old state to the recovered
+	// one: every subscriber must resync against it.
+	if db.hub != nil {
+		db.hub.MarkAllLost()
+	}
 	db.mu.Unlock()
 
 	if batchOpts != nil {

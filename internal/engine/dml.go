@@ -186,7 +186,9 @@ func (db *DB) execTable(name string, stmts []Statement) error {
 		rollback()
 		return err
 	}
-	db.maintainViews(map[string]eval.Delta{name: d}, nil)
+	changed := map[string]eval.Delta{name: d}
+	db.maintainViews(changed, nil)
+	db.publishLocked(changed)
 	db.autoCheckpointLocked()
 	return nil
 }
@@ -533,6 +535,7 @@ func (db *DB) applyPlan(pl *plan) error {
 		return err
 	}
 	db.maintainViews(changed, keep)
+	db.publishLocked(changed)
 	db.autoCheckpointLocked()
 	return nil
 }

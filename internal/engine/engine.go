@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"birds/internal/cdc"
 	"birds/internal/core"
 	"birds/internal/datalog"
 	"birds/internal/eval"
@@ -51,6 +52,13 @@ type DB struct {
 	// write path holds the write lock at its WAL hook, which is what makes
 	// log order identical to commit order.
 	dur *durability
+
+	// hub, when non-nil, is the change-data-capture subscription hub
+	// (subscribe.go). Created lazily by the first Subscribe and kept for
+	// the life of the DB (it survives Reopen — subscriptions outlive a
+	// state swap by resyncing). Guarded by mu; every publish site holds
+	// the write lock, so hub sequence order is commit order.
+	hub *cdc.Hub
 
 	// ro, when non-nil, is the storage failure that forced read-only
 	// degraded mode (degrade.go): every write path fails fast with
@@ -663,6 +671,21 @@ func (db *DB) LoadTable(name string, rows []value.Tuple) error {
 	}
 	changed := map[string]bool{name: true}
 	db.markDependentsDirty(changed, nil)
+	// A bulk load is a visibility point like any other: subscribers of the
+	// table get the exact inserted delta; subscribers of the views just
+	// marked dirty are marked lost by publishLocked's dirty scan (no view
+	// delta exists on this path) and resync instead of silently diverging.
+	if h := db.hub; h != nil && !h.Quiet() {
+		ch := make(map[string]eval.Delta, 1)
+		if len(inserted) > 0 && h.Subscribed(name) {
+			d := eval.NewDelta(decl.Arity())
+			for _, r := range inserted {
+				d.Ins.Add(r)
+			}
+			ch[name] = d
+		}
+		db.publishLocked(ch)
+	}
 	db.autoCheckpointLocked()
 	return nil
 }

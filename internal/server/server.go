@@ -73,6 +73,11 @@ type Config struct {
 	// observe and clear an overload. 0 selects DefaultMaxInflight;
 	// negative disables shedding.
 	MaxInflight int
+	// Heartbeat is the idle-ping interval of GET /subscribe streams: a
+	// stream with no events for this long emits a "ping" line carrying
+	// the hub's current sequence number. 0 selects DefaultHeartbeat;
+	// negative disables pings.
+	Heartbeat time.Duration
 }
 
 // Defaults for the zero Config.
@@ -81,6 +86,7 @@ const (
 	DefaultRequestTimeout = 30 * time.Second
 	DefaultMaxBodyBytes   = 1 << 20
 	DefaultMaxInflight    = 256
+	DefaultHeartbeat      = 5 * time.Second
 )
 
 // Server serves one database over HTTP. Create it with New, mount
@@ -111,6 +117,15 @@ type Server struct {
 	errs     atomic.Uint64
 	shed     atomic.Uint64
 
+	// Subscription streams (GET /subscribe): live gauge and lifetime
+	// total. streamClose ends every open stream at shutdown —
+	// http.Server.Shutdown waits for handlers, and a subscription handler
+	// never returns on its own.
+	streamsActive atomic.Int64
+	streamsTotal  atomic.Uint64
+	streamClose   chan struct{}
+	streamOnce    sync.Once
+
 	drainOnce sync.Once
 	drainErr  error
 }
@@ -130,12 +145,16 @@ func New(db *engine.DB, cfg Config) *Server {
 	if cfg.MaxInflight == 0 {
 		cfg.MaxInflight = DefaultMaxInflight
 	}
+	if cfg.Heartbeat == 0 {
+		cfg.Heartbeat = DefaultHeartbeat
+	}
 	s := &Server{
-		db:       db,
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		sessions: newSessionRegistry(),
-		start:    time.Now(),
+		db:          db,
+		cfg:         cfg,
+		mux:         http.NewServeMux(),
+		sessions:    newSessionRegistry(),
+		start:       time.Now(),
+		streamClose: make(chan struct{}),
 	}
 	s.bt.Store(db.Batch(engine.BatchOptions{MaxTxns: cfg.BatchSize, FlushInterval: cfg.FlushInterval}))
 	if cfg.MaxInflight > 0 {
@@ -148,6 +167,10 @@ func New(db *engine.DB, cfg Config) *Server {
 	s.mux.HandleFunc("POST /ddl", gated(s.handleDDL))
 	s.mux.HandleFunc("POST /session", gated(s.handleSession))
 	s.mux.HandleFunc("POST /checkpoint", gated(s.handleCheckpoint))
+	// Subscription streams are long-lived: they hold no admission slot
+	// (the semaphore is for request-scoped data-plane work) and are exempt
+	// from the request timeout (Handler checks the path).
+	s.mux.HandleFunc("GET /subscribe/{name}", s.handleSubscribe)
 	s.mux.HandleFunc("POST /flush", s.handleFlush)
 	s.mux.HandleFunc("POST /reopen", s.handleReopen)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -186,7 +209,7 @@ func (s *Server) Handler() http.Handler {
 		if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
-		if s.cfg.RequestTimeout > 0 {
+		if s.cfg.RequestTimeout > 0 && !strings.HasPrefix(r.URL.Path, "/subscribe/") {
 			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 			defer cancel()
 			r = r.WithContext(ctx)
@@ -205,8 +228,17 @@ func (s *Server) Batcher() *engine.Batcher { return s.bt.Load() }
 // read-only degraded mode the staged batch cannot flush — it is discarded
 // (it was never acknowledged) and the degradation error is reported.
 // Idempotent.
+// DisconnectSubscribers ends every open GET /subscribe stream. Call it
+// before http.Server.Shutdown — Shutdown waits for in-flight handlers,
+// and a subscription handler never returns while its client stays
+// connected. Idempotent; Drain calls it too.
+func (s *Server) DisconnectSubscribers() {
+	s.streamOnce.Do(func() { close(s.streamClose) })
+}
+
 func (s *Server) Drain() error {
 	s.drainOnce.Do(func() {
+		s.DisconnectSubscribers()
 		bt := s.bt.Load()
 		if roErr := s.db.ReadOnly(); roErr != nil {
 			bt.Discard(roErr)
@@ -617,6 +649,36 @@ type statsResponse struct {
 	Batch  batcherStats `json:"batcher"`
 	Engine engineStats  `json:"engine"`
 	WAL    walStats     `json:"wal"`
+	CDC    cdcStats     `json:"cdc"`
+}
+
+// cdcStats is the subscription hub's slice of GET /stats and GET /healthz:
+// the engine-level hub counters plus the server's HTTP stream gauges.
+type cdcStats struct {
+	Subscribers  int    `json:"subscribers"`
+	Streams      int64  `json:"streams"`
+	StreamsTotal uint64 `json:"streams_total"`
+	Seq          uint64 `json:"seq"`
+	Published    uint64 `json:"published"`
+	Delivered    uint64 `json:"delivered"`
+	Dropped      uint64 `json:"dropped"`
+	Resyncs      uint64 `json:"resyncs"`
+	MaxLagSeqs   uint64 `json:"max_lag_seqs"`
+}
+
+func (s *Server) cdcStats() cdcStats {
+	hs := s.db.CDCStats()
+	return cdcStats{
+		Subscribers:  hs.Subscribers,
+		Streams:      s.streamsActive.Load(),
+		StreamsTotal: s.streamsTotal.Load(),
+		Seq:          hs.Seq,
+		Published:    hs.Published,
+		Delivered:    hs.Delivered,
+		Dropped:      hs.Dropped,
+		Resyncs:      hs.Resyncs,
+		MaxLagSeqs:   hs.MaxLagSeqs,
+	}
 }
 
 type serverStats struct {
@@ -687,6 +749,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Pending:       bs.Pending,
 		},
 		WAL: walStats{Durable: s.db.Durable(), LastLSN: s.db.LastLSN()},
+		CDC: s.cdcStats(),
 	}
 	detail, active := s.sessions.stats(time.Minute)
 	resp.Server.Sessions = len(detail)
@@ -708,8 +771,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 type healthzResponse struct {
-	OK       bool `json:"ok"`
-	ReadOnly bool `json:"readonly"`
+	OK       bool     `json:"ok"`
+	ReadOnly bool     `json:"readonly"`
+	CDC      cdcStats `json:"cdc"`
 }
 
 // handleHealthz is the liveness probe: 200 as long as the server answers,
@@ -718,5 +782,5 @@ type healthzResponse struct {
 // the degraded flag for probes that want to alert on it. Never shed by
 // the admission limiter.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, healthzResponse{OK: true, ReadOnly: s.db.ReadOnly() != nil})
+	s.writeJSON(w, http.StatusOK, healthzResponse{OK: true, ReadOnly: s.db.ReadOnly() != nil, CDC: s.cdcStats()})
 }

@@ -1,0 +1,304 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"birds/internal/engine"
+	"birds/internal/value"
+)
+
+// Tests for the GET /subscribe/{view} NDJSON stream: snapshot-then-deltas
+// over real HTTP, resync on a deliberately tiny buffer, idle heartbeats,
+// and the hub counters surfaced on /stats and /healthz.
+
+// streamClient wraps one open subscription stream with deadline-guarded
+// line reads (a stuck stream fails the test instead of hanging it).
+type streamClient struct {
+	t     *testing.T
+	resp  *http.Response
+	lines chan string
+	errs  chan error
+}
+
+func openStream(t *testing.T, url string) *streamClient {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		t.Fatalf("subscribe: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := &streamClient{t: t, resp: resp, lines: make(chan string, 64), errs: make(chan error, 1)}
+	go func() {
+		r := bufio.NewScanner(resp.Body)
+		r.Buffer(make([]byte, 0, 64*1024), 64<<20)
+		for r.Scan() {
+			sc.lines <- r.Text()
+		}
+		sc.errs <- r.Err()
+	}()
+	t.Cleanup(sc.close)
+	return sc
+}
+
+func (sc *streamClient) close() { sc.resp.Body.Close() }
+
+// next returns the next decoded stream event, failing the test after the
+// deadline.
+func (sc *streamClient) next(timeout time.Duration) streamEvent {
+	sc.t.Helper()
+	select {
+	case line := <-sc.lines:
+		var ev streamEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			sc.t.Fatalf("bad stream line %q: %v", line, err)
+		}
+		return ev
+	case err := <-sc.errs:
+		sc.t.Fatalf("stream ended: %v", err)
+	case <-time.After(timeout):
+		sc.t.Fatalf("no stream event within %v", timeout)
+	}
+	panic("unreachable")
+}
+
+// nextData skips pings and returns the next snapshot/delta/resync event.
+func (sc *streamClient) nextData(timeout time.Duration) streamEvent {
+	sc.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		ev := sc.next(time.Until(deadline))
+		if ev.Type != "ping" {
+			return ev
+		}
+	}
+}
+
+func itemRow(id int, name string, price int) []wireValue {
+	return []wireValue{{value.Int(int64(id))}, {value.Str(name)}, {value.Int(int64(price))}}
+}
+
+func execInsertItem(t *testing.T, base string, id int, name string, price int) {
+	t.Helper()
+	code, data := postJSON(t, http.DefaultClient, base+"/exec", "", map[string]any{
+		"stmts": []stmtJSON{{Op: "insert", Target: "items", Row: itemRow(id, name, price)}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("exec: HTTP %d: %s", code, data)
+	}
+}
+
+func TestSubscribeSnapshotThenDeltas(t *testing.T) {
+	srv, ts := startServer(t, Config{BatchSize: 1, FlushInterval: time.Millisecond})
+	t.Cleanup(srv.DisconnectSubscribers) // end streams before ts.Close waits on handlers
+	execInsertItem(t, ts.URL, 1, "yacht", 9000)
+
+	sc := openStream(t, ts.URL+"/subscribe/luxury")
+	snap := sc.nextData(5 * time.Second)
+	if snap.Type != "snapshot" || snap.View != "luxury" || snap.Count != 1 || len(snap.Rows) != 1 {
+		t.Fatalf("want 1-row snapshot of luxury, got %+v", snap)
+	}
+
+	execInsertItem(t, ts.URL, 2, "jet", 50000) // above the bar: luxury delta
+	ev := sc.nextData(5 * time.Second)
+	if ev.Type != "delta" || len(ev.Insert) != 1 || len(ev.Delete) != 0 {
+		t.Fatalf("want +1 delta, got %+v", ev)
+	}
+	if ev.Seq <= snap.Seq {
+		t.Fatalf("delta seq %d not after snapshot seq %d", ev.Seq, snap.Seq)
+	}
+	if got := ev.Insert[0][0].v; !got.Equal(value.Int(2)) {
+		t.Fatalf("delta row id = %v", got)
+	}
+
+	// A cheap item does not change luxury: subscribers see nothing for it,
+	// then the next luxury-relevant write arrives in order.
+	execInsertItem(t, ts.URL, 3, "pencil", 2)
+	execInsertItem(t, ts.URL, 4, "villa", 800000)
+	ev = sc.nextData(5 * time.Second)
+	if ev.Type != "delta" || len(ev.Insert) != 1 || !ev.Insert[0][0].v.Equal(value.Int(4)) {
+		t.Fatalf("want villa delta (pencil skipped), got %+v", ev)
+	}
+}
+
+func TestSubscribeResyncOnTinyBuffer(t *testing.T) {
+	srv, ts := startServer(t, Config{BatchSize: 1, FlushInterval: time.Millisecond})
+	t.Cleanup(srv.DisconnectSubscribers)
+
+	// A raw stream with NO background reader: the client genuinely stalls.
+	resp, err := http.Get(ts.URL + "/subscribe/luxury?buffer=1&policy=drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe: HTTP %d", resp.StatusCode)
+	}
+	// Watchdog: a wedged test (e.g. the drop never happens and Scan blocks
+	// forever) fails with a closed stream instead of hanging the run.
+	watchdog := time.AfterFunc(60*time.Second, func() { resp.Body.Close() })
+	defer watchdog.Stop()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 256<<20)
+	readEvent := func() streamEvent {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("stream ended: %v", sc.Err())
+		}
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line: %v", err)
+		}
+		return ev
+	}
+	if ev := readEvent(); ev.Type != "snapshot" {
+		t.Fatalf("want snapshot first, got %+v", ev)
+	}
+
+	// Overflow the 1-slot ring. The handler drains the ring as fast as it
+	// can write to the socket, so merely not reading isn't enough: the
+	// rows are large (256 KiB names) so the stalled client's TCP buffers
+	// fill, wedging the handler mid-Write while further writes overflow
+	// the ring and mark the subscription lost. The writes themselves must
+	// never block on the wedged stream (drop policy).
+	const n = 40
+	pad := make([]byte, 256<<10)
+	for i := range pad {
+		pad[i] = 'x'
+	}
+	for i := 0; i < n; i++ {
+		execInsertItem(t, ts.URL, 100+i, string(pad), 5000+i)
+	}
+
+	// Drain: some buffered deltas may arrive, then exactly one resync
+	// carrying the complete current state, then healthy deltas again.
+	var resync streamEvent
+	for resync.Type == "" {
+		if ev := readEvent(); ev.Type == "resync" {
+			resync = ev
+		}
+	}
+	if resync.Count != n {
+		t.Fatalf("resync has %d rows, want %d", resync.Count, n)
+	}
+	execInsertItem(t, ts.URL, 999, "diamond", 7777)
+	for {
+		ev := readEvent()
+		if ev.Type == "ping" {
+			continue
+		}
+		if ev.Type != "delta" || len(ev.Insert) != 1 {
+			t.Fatalf("stream not healthy after resync: %+v", ev)
+		}
+		break
+	}
+
+	statsResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st struct {
+		CDC cdcStats `json:"cdc"`
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CDC.Resyncs != 1 || st.CDC.Dropped == 0 || st.CDC.Streams != 1 {
+		t.Fatalf("hub counters after forced resync: %+v", st.CDC)
+	}
+}
+
+func TestSubscribeHeartbeat(t *testing.T) {
+	srv, ts := startServer(t, Config{Heartbeat: 30 * time.Millisecond})
+	t.Cleanup(srv.DisconnectSubscribers)
+
+	sc := openStream(t, ts.URL+"/subscribe/items")
+	if ev := sc.next(5 * time.Second); ev.Type != "snapshot" {
+		t.Fatalf("want snapshot, got %+v", ev)
+	}
+	// No writes: the stream must still emit pings at the configured
+	// interval so clients (and proxies) see a live connection.
+	for i := 0; i < 3; i++ {
+		ev := sc.next(2 * time.Second)
+		if ev.Type != "ping" {
+			t.Fatalf("want ping on idle stream, got %+v", ev)
+		}
+	}
+}
+
+func TestSubscribeErrors(t *testing.T) {
+	srv, ts := startServer(t, Config{})
+	t.Cleanup(srv.DisconnectSubscribers)
+
+	for url, want := range map[string]int{
+		"/subscribe/nope":                http.StatusNotFound,
+		"/subscribe/items?policy=weird":  http.StatusBadRequest,
+		"/subscribe/items?buffer=banana": http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s: HTTP %d, want %d", url, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestHealthzReportsCDC(t *testing.T) {
+	srv, ts := startServer(t, Config{BatchSize: 1, FlushInterval: time.Millisecond})
+	t.Cleanup(srv.DisconnectSubscribers)
+
+	sc := openStream(t, ts.URL+"/subscribe/luxury")
+	sc.nextData(5 * time.Second) // snapshot delivered
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		OK  bool     `json:"ok"`
+		CDC cdcStats `json:"cdc"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if !hz.OK || hz.CDC.Subscribers != 1 || hz.CDC.StreamsTotal != 1 || hz.CDC.Delivered == 0 {
+		t.Fatalf("healthz cdc: ok=%v %+v", hz.OK, hz.CDC)
+	}
+}
+
+// TestSubscribeFlushOrdering: the handler flushes the batcher before
+// subscribing, so the initial snapshot covers every transaction admitted
+// to the group-commit batch before the stream opened.
+func TestSubscribeFlushOrdering(t *testing.T) {
+	// Big batch + long interval: without the pre-subscribe flush the
+	// admitted-but-unflushed write would be missing from the snapshot.
+	srv, ts := startServer(t, Config{BatchSize: 1024, FlushInterval: time.Minute})
+	t.Cleanup(srv.DisconnectSubscribers)
+
+	// Admit without waiting for a flush (the server-internal equivalent
+	// of a concurrent writer whose batch has not filled yet).
+	if err := srv.bt.Load().Exec(engine.Insert("items",
+		value.Int(1), value.Str("yacht"), value.Int(9000))); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := openStream(t, ts.URL+"/subscribe/luxury")
+	snap := sc.nextData(5 * time.Second)
+	if snap.Type != "snapshot" || snap.Count != 1 {
+		t.Fatalf("snapshot must include the admitted write, got %+v", snap)
+	}
+}
